@@ -1,0 +1,116 @@
+//! Ablation benches for the design knobs §VI-B-1 studies: Sybil
+//! threshold, maxSybils, successor-list length, and a fine churn-rate
+//! sweep (footnote 2's diminishing-returns claim).
+
+use autobal_core::{Heterogeneity, Sim, SimConfig, StrategyKind, WorkMeasurement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn base(strategy: StrategyKind) -> SimConfig {
+    SimConfig {
+        nodes: 100,
+        tasks: 10_000,
+        strategy,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_sybil_threshold");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for thr in [0u64, 1, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("random_injection", thr), &thr, |b, &thr| {
+            let cfg = SimConfig {
+                sybil_threshold: thr,
+                ..base(StrategyKind::RandomInjection)
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Sim::new(cfg.clone(), seed).run().runtime_factor)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_max_sybils(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_max_sybils");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for ms in [5u32, 10] {
+        g.bench_with_input(BenchmarkId::new("het_strength", ms), &ms, |b, &ms| {
+            let cfg = SimConfig {
+                max_sybils: ms,
+                heterogeneity: Heterogeneity::Heterogeneous,
+                work_measurement: WorkMeasurement::StrengthPerTick,
+                ..base(StrategyKind::RandomInjection)
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Sim::new(cfg.clone(), seed).run().runtime_factor)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_successors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_successors");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for k in [5usize, 10] {
+        g.bench_with_input(BenchmarkId::new("neighbor_injection", k), &k, |b, &k| {
+            let cfg = SimConfig {
+                num_successors: k,
+                ..base(StrategyKind::NeighborInjection)
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Sim::new(cfg.clone(), seed).run().runtime_factor)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_churn_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_churn_sweep");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for rate in [0.005, 0.01, 0.02, 0.05] {
+        g.bench_with_input(
+            BenchmarkId::new("churn", format!("{rate}")),
+            &rate,
+            |b, &rate| {
+                let cfg = SimConfig {
+                    churn_rate: rate,
+                    ..base(StrategyKind::Churn)
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(Sim::new(cfg.clone(), seed).run().runtime_factor)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threshold,
+    bench_max_sybils,
+    bench_successors,
+    bench_churn_sweep
+);
+criterion_main!(benches);

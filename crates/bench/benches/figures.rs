@@ -1,0 +1,69 @@
+//! Bench family for the figure pipelines: snapshot capture during a run
+//! (Figures 4–14) and histogram construction (Figure 1), plus the ring
+//! embedding of Figures 2–3.
+
+use autobal_core::{Sim, SimConfig, StrategyKind};
+use autobal_stats::{Histogram, LogHistogram};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_snapshot_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_snapshot_run");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("run_with_3_snapshots_100n_10kt", |b| {
+        let cfg = SimConfig {
+            nodes: 100,
+            tasks: 10_000,
+            strategy: StrategyKind::RandomInjection,
+            snapshot_ticks: vec![0, 5, 35],
+            ..SimConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let res = Sim::new(cfg.clone(), seed).run();
+            assert_eq!(res.snapshots.len(), 3);
+            black_box(res.snapshots.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_histograms");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    let loads = autobal_workload::placement::initial_loads(1000, 100_000, 7, 0);
+    g.bench_function("linear_histogram_1000_loads", |b| {
+        b.iter(|| black_box(Histogram::build(&loads, 0, 25, 40)))
+    });
+    g.bench_function("log_histogram_1000_loads", |b| {
+        b.iter(|| black_box(LogHistogram::build(&loads)))
+    });
+    g.finish();
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_ring_embedding");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    let mut rng = autobal_stats::seeded_rng(3);
+    let ids: Vec<autobal_id::Id> = (0..1000).map(|_| autobal_id::Id::random(&mut rng)).collect();
+    g.bench_function("embed_1000_ids", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &id in &ids {
+                let p = autobal_id::embed::ring_xy(id);
+                acc += p.x + p.y;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_snapshot_run, bench_histograms, bench_embedding);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Bench family for the §VI strategy comparisons (Figures 7–9, 11–14
+//! and the running-text factors): one complete job per iteration under
+//! each strategy, homogeneous and heterogeneous.
+
+use autobal_core::{Heterogeneity, Sim, SimConfig, StrategyKind, WorkMeasurement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cfg(strategy: StrategyKind) -> SimConfig {
+    SimConfig {
+        nodes: 100,
+        tasks: 10_000,
+        strategy,
+        churn_rate: if strategy == StrategyKind::Churn {
+            0.01
+        } else {
+            0.0
+        },
+        ..SimConfig::default()
+    }
+}
+
+fn bench_homogeneous(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategies_homogeneous");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for strat in StrategyKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("run_100n_10kt", strat.label()),
+            &strat,
+            |b, &strat| {
+                let cfg = cfg(strat);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(Sim::new(cfg.clone(), seed).run().runtime_factor)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_heterogeneous(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategies_heterogeneous_strength");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for strat in [
+        StrategyKind::None,
+        StrategyKind::RandomInjection,
+        StrategyKind::NeighborInjection,
+        StrategyKind::Invitation,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("run_100n_10kt", strat.label()),
+            &strat,
+            |b, &strat| {
+                let cfg = SimConfig {
+                    heterogeneity: Heterogeneity::Heterogeneous,
+                    work_measurement: WorkMeasurement::StrengthPerTick,
+                    ..cfg(strat)
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(Sim::new(cfg.clone(), seed).run().runtime_factor)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_homogeneous, bench_heterogeneous);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench family for **Table I**: cost of building an initial placement
+//! (SHA-1 node ids + task keys onto the ring) and summarizing its
+//! workload distribution, across the paper's (nodes, tasks) grid —
+//! scaled down so `cargo bench` stays fast. The paper-scale rows are
+//! produced by `repro table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_placement");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for (nodes, tasks) in [(100usize, 10_000usize), (1000, 10_000), (1000, 100_000)] {
+        g.bench_with_input(
+            BenchmarkId::new("initial_load_summary", format!("{nodes}n_{tasks}t")),
+            &(nodes, tasks),
+            |b, &(n, t)| {
+                let mut trial = 0u64;
+                b.iter(|| {
+                    trial += 1;
+                    black_box(autobal_workload::initial_load_summary(n, t, 42, trial))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench family for **Table II**: full simulated runs under the Churn
+//! strategy across churn rates. Each iteration is one complete job
+//! (100 nodes / 10k tasks — the paper's smallest Table II column).
+//! Expect higher churn ⇒ fewer ticks ⇒ *faster* wall time per run.
+
+use autobal_core::{Sim, SimConfig, StrategyKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_churn");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for rate in [0.0, 0.0001, 0.001, 0.01] {
+        g.bench_with_input(
+            BenchmarkId::new("run_100n_10kt", format!("rate_{rate}")),
+            &rate,
+            |b, &rate| {
+                let cfg = SimConfig {
+                    nodes: 100,
+                    tasks: 10_000,
+                    strategy: StrategyKind::Churn,
+                    churn_rate: rate,
+                    ..SimConfig::default()
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let res = Sim::new(cfg.clone(), seed).run();
+                    assert!(res.completed);
+                    black_box(res.runtime_factor)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

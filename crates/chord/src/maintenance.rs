@@ -1,0 +1,396 @@
+//! Ring maintenance: stabilization, list repair, finger fixing, and
+//! active replication.
+//!
+//! One [`Network::maintenance_cycle`] is what the paper assumes fits in a
+//! tick: "a tick is enough time to accomplish at least one maintenance
+//! cycle". The cycle follows the Chord paper's stabilize/notify/
+//! fix-fingers trio, extended with the ChordReduce *active backup*
+//! behavior (each node aggressively re-pushes its keys to its successor
+//! list every cycle, and replica holders promote a dead owner's keys the
+//! moment they become responsible for them).
+
+use crate::messages::MessageKind;
+use crate::network::Network;
+use autobal_id::ring;
+
+impl Network {
+    /// Runs one full maintenance cycle on every live node (in ring
+    /// order): prune dead neighbors, stabilize successor/predecessor
+    /// pointers, refresh the successor and predecessor lists, fix a batch
+    /// of fingers, push replicas, and promote replicas of dead owners.
+    pub fn maintenance_cycle(&mut self) {
+        let ids = self.node_ids();
+        for &id in &ids {
+            if !self.contains(id) {
+                continue;
+            }
+            self.prune_dead_neighbors(id);
+            self.stabilize_one(id);
+            self.refresh_lists(id);
+            self.fix_fingers(id);
+        }
+        // Promote before pushing: keys recovered from a dead owner's
+        // replica must be re-replicated in the *same* cycle, otherwise a
+        // follow-up failure of the promoting node inside the window
+        // would lose them (their original replicas are consumed by the
+        // promotion). Pushing afterwards also guarantees pushes land on
+        // current successors.
+        for &id in &ids {
+            if self.contains(id) {
+                self.promote_replicas(id);
+            }
+        }
+        for &id in &ids {
+            if self.contains(id) {
+                self.push_replicas(id);
+            }
+        }
+    }
+
+    /// True if the node is still alive.
+    pub fn contains(&self, id: autobal_id::Id) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Drops dead entries from the node's neighbor lists (each discovery
+    /// costs a ping). Falls back to the ground-truth successor when the
+    /// entire successor list has died — standing in for the out-of-band
+    /// re-bootstrap a real deployment would perform.
+    fn prune_dead_neighbors(&mut self, id: autobal_id::Id) {
+        let node = &self.nodes[&id];
+        let stale: Vec<autobal_id::Id> = node
+            .successors
+            .iter()
+            .chain(node.predecessors.iter())
+            .chain(node.fingers.iter().flatten())
+            .copied()
+            .filter(|n| !self.nodes.contains_key(n))
+            .collect();
+        if !stale.is_empty() {
+            self.stats.record_n(MessageKind::Ping, stale.len() as u64);
+            let node = self.nodes.get_mut(&id).unwrap();
+            for d in stale {
+                node.forget(d);
+            }
+        }
+        let node = self.nodes.get_mut(&id).unwrap();
+        if node.successors.is_empty() {
+            if let Some(s) = self.truth_successor(id) {
+                let node = self.nodes.get_mut(&id).unwrap();
+                node.successors.push(s);
+                self.stats.record(MessageKind::SuccessorListPull);
+            }
+        }
+        let node = self.nodes.get_mut(&id).unwrap();
+        if node.predecessors.is_empty() {
+            if let Some(p) = self.truth_predecessor(id) {
+                let node = self.nodes.get_mut(&id).unwrap();
+                node.predecessors.push(p);
+            }
+        }
+    }
+
+    /// Chord `stabilize` + `notify` for one node.
+    fn stabilize_one(&mut self, id: autobal_id::Id) {
+        let succ = match self.first_live_successor(id) {
+            Some(s) => s,
+            None => return,
+        };
+        self.stats.record(MessageKind::Stabilize);
+        if succ != id {
+            // x = successor.predecessor; adopt it if it sits between us.
+            let x = self.nodes[&succ].predecessor();
+            if x != id
+                && self.nodes.contains_key(&x)
+                && ring::in_open_arc(id, succ, x)
+            {
+                let node = self.nodes.get_mut(&id).unwrap();
+                node.successors.retain(|&s| s != x);
+                node.successors.insert(0, x);
+                let cap = self.cfg.successor_list_len;
+                self.nodes.get_mut(&id).unwrap().successors.truncate(cap);
+            }
+        }
+        // notify(new successor, self)
+        let succ = self.nodes[&id].successor();
+        if succ != id && self.nodes.contains_key(&succ) {
+            self.stats.record(MessageKind::Notify);
+            let plen = self.cfg.predecessor_list_len;
+            let s = self.nodes.get_mut(&succ).unwrap();
+            let cur_pred = s.predecessor();
+            if cur_pred == succ
+                || !ring::in_open_arc(id, succ, cur_pred) && ring::in_open_arc(cur_pred, succ, id)
+            {
+                s.predecessors.retain(|&p| p != id);
+                s.predecessors.insert(0, id);
+                s.predecessors.truncate(plen);
+            }
+        }
+    }
+
+    /// Pulls the successor's successor list and the predecessor's
+    /// predecessor list, keeping ours fresh.
+    fn refresh_lists(&mut self, id: autobal_id::Id) {
+        let succ = self.nodes[&id].successor();
+        if succ != id && self.nodes.contains_key(&succ) {
+            self.stats.record(MessageKind::SuccessorListPull);
+            let pulled: Vec<autobal_id::Id> = {
+                let s = &self.nodes[&succ];
+                let mut list = vec![succ];
+                list.extend(s.successors.iter().copied().filter(|&x| x != id && x != succ));
+                list.truncate(self.cfg.successor_list_len);
+                list
+            };
+            self.nodes.get_mut(&id).unwrap().successors = pulled;
+        }
+        let pred = self.nodes[&id].predecessor();
+        if pred != id && self.nodes.contains_key(&pred) {
+            self.stats.record(MessageKind::SuccessorListPull);
+            let pulled: Vec<autobal_id::Id> = {
+                let p = &self.nodes[&pred];
+                let mut list = vec![pred];
+                list.extend(
+                    p.predecessors
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != id && x != pred),
+                );
+                list.truncate(self.cfg.predecessor_list_len);
+                list
+            };
+            self.nodes.get_mut(&id).unwrap().predecessors = pulled;
+        }
+    }
+
+    /// Fixes `fingers_per_cycle` finger entries via real lookups.
+    fn fix_fingers(&mut self, id: autobal_id::Id) {
+        let per_cycle = self.cfg.fingers_per_cycle;
+        for _ in 0..per_cycle {
+            let (k, target) = {
+                let node = &self.nodes[&id];
+                let k = node.next_finger % node.fingers.len();
+                (k, node.finger_target(k))
+            };
+            self.stats.record(MessageKind::FixFinger);
+            let resolved = self.lookup(id, target).ok().map(|r| r.owner);
+            let node = self.nodes.get_mut(&id).unwrap();
+            node.fingers[k] = resolved;
+            node.next_finger = (k + 1) % node.fingers.len();
+        }
+    }
+
+    /// Pushes a full replica of this node's keys to its first
+    /// `replication_factor` live successors (active backup).
+    fn push_replicas(&mut self, id: autobal_id::Id) {
+        let (keys, store, targets) = {
+            let node = &self.nodes[&id];
+            let targets: Vec<autobal_id::Id> = node
+                .successors
+                .iter()
+                .copied()
+                .filter(|s| *s != id && self.nodes.contains_key(s))
+                .take(self.cfg.replication_factor)
+                .collect();
+            (node.keys.clone(), node.store.clone(), targets)
+        };
+        for t in targets {
+            self.stats.record(MessageKind::ReplicaPush);
+            let tgt = self.nodes.get_mut(&t).unwrap();
+            tgt.replicas.insert(id, keys.clone());
+            tgt.replica_store.insert(id, store.clone());
+        }
+    }
+
+    /// Promotes keys from replicas whose owner has died and whose keys
+    /// now fall into this node's responsibility; drops replica entries
+    /// that can never be promoted here.
+    fn promote_replicas(&mut self, id: autobal_id::Id) {
+        let dead_owners: Vec<autobal_id::Id> = self.nodes[&id]
+            .replicas
+            .keys()
+            .copied()
+            .filter(|o| !self.nodes.contains_key(o))
+            .collect();
+        if dead_owners.is_empty() {
+            return;
+        }
+        let pred = self.nodes[&id].predecessor();
+        for owner in dead_owners {
+            let node = self.nodes.get_mut(&id).unwrap();
+            let keys = node.replicas.remove(&owner).unwrap();
+            let mut values = node.replica_store.remove(&owner).unwrap_or_default();
+            let mut promoted = 0u64;
+            let mut forwarded = Vec::new();
+            for k in keys {
+                if ring::in_arc(pred, id, k) {
+                    let node = self.nodes.get_mut(&id).unwrap();
+                    node.keys.insert(k);
+                    if let Some(v) = values.remove(&k) {
+                        node.store.insert(k, v);
+                    }
+                    promoted += 1;
+                } else {
+                    // A node joined inside the dead owner's old arc and
+                    // now owns this key; forward it there (an ordinary
+                    // routed store — duplicates are idempotent since
+                    // other replica holders may forward the same key).
+                    forwarded.push((k, values.remove(&k)));
+                }
+            }
+            let nforwarded = forwarded.len() as u64;
+            for (k, v) in forwarded {
+                let target = self.insert_key(k);
+                if let Some(v) = v {
+                    self.nodes.get_mut(&target).unwrap().store.insert(k, v);
+                }
+            }
+            if promoted + nforwarded > 0 {
+                self.stats
+                    .record_n(MessageKind::KeyTransfer, promoted + nforwarded);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::network::{NetConfig, Network};
+    use autobal_id::sha1::sha1_id_of_u64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn cycle_on_stable_ring_keeps_consistency() {
+        let mut net = Network::bootstrap(NetConfig::default(), 40, &mut rng(1));
+        for k in 0..100u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        for _ in 0..3 {
+            net.maintenance_cycle();
+        }
+        assert!(net.is_consistent());
+        assert_eq!(net.total_keys(), 100);
+    }
+
+    #[test]
+    fn replicas_are_pushed_to_successors() {
+        let mut net = Network::bootstrap(NetConfig::default(), 10, &mut rng(2));
+        for k in 0..50u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        net.maintenance_cycle();
+        // Every node with keys must be replicated on its successor.
+        for id in net.node_ids() {
+            let keys = net.node(id).unwrap().keys.clone();
+            if keys.is_empty() {
+                continue;
+            }
+            let succ = net.node(id).unwrap().successor();
+            let rep = net.node(succ).unwrap().replicas.get(&id).cloned();
+            assert_eq!(rep, Some(keys), "replica of {id} on {succ}");
+        }
+    }
+
+    #[test]
+    fn failure_recovery_restores_all_keys() {
+        let mut net = Network::bootstrap(NetConfig::default(), 30, &mut rng(3));
+        for k in 0..300u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        net.maintenance_cycle(); // seed replicas
+        let victims: Vec<_> = net.node_ids().into_iter().step_by(7).take(4).collect();
+        for v in &victims {
+            net.fail(*v).unwrap();
+        }
+        assert!(net.total_keys() < 300 || victims.iter().all(|v| !net.contains(*v)));
+        // A couple of cycles repair pointers and promote replicas.
+        for _ in 0..3 {
+            net.maintenance_cycle();
+        }
+        assert_eq!(net.total_keys(), 300, "all keys recovered");
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn recovery_after_adjacent_failures() {
+        // Kill two neighboring nodes at once; the next live successor
+        // holds replicas of both (replication_factor = 5 > 2).
+        let mut net = Network::bootstrap(NetConfig::default(), 20, &mut rng(4));
+        for k in 0..200u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        net.maintenance_cycle();
+        let ids = net.node_ids();
+        net.fail(ids[5]).unwrap();
+        net.fail(ids[6]).unwrap();
+        for _ in 0..3 {
+            net.maintenance_cycle();
+        }
+        assert_eq!(net.total_keys(), 200);
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn join_then_cycles_rebuild_fingers() {
+        let mut net = Network::bootstrap(NetConfig::default(), 16, &mut rng(5));
+        let contact = net.node_ids()[0];
+        let mut r = rng(6);
+        for _ in 0..4 {
+            net.join(autobal_id::Id::random(&mut r), contact).unwrap();
+        }
+        // Enough cycles to fix all 160 fingers (16 per cycle).
+        for _ in 0..10 {
+            net.maintenance_cycle();
+        }
+        assert!(net.is_consistent());
+        // Fingers of newcomers resolve to live nodes.
+        for id in net.node_ids() {
+            let node = net.node(id).unwrap();
+            for f in node.fingers.iter().flatten() {
+                assert!(net.contains(*f));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_storm_converges() {
+        let mut net = Network::bootstrap(NetConfig::default(), 50, &mut rng(7));
+        for k in 0..200u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        net.maintenance_cycle();
+        let mut r = rng(8);
+        use rand::Rng;
+        // 10 rounds of simultaneous join+fail, maintenance between.
+        for round in 0..10 {
+            let ids = net.node_ids();
+            let victim = ids[r.gen_range(0..ids.len())];
+            net.fail(victim).unwrap();
+            let contact = net.node_ids()[0];
+            let newcomer = autobal_id::Id::random(&mut r);
+            net.join(newcomer, contact).unwrap();
+            net.maintenance_cycle();
+            assert_eq!(net.len(), 50, "round {round}");
+        }
+        for _ in 0..3 {
+            net.maintenance_cycle();
+        }
+        assert_eq!(net.total_keys(), 200);
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn message_counters_move_during_maintenance() {
+        let mut net = Network::bootstrap(NetConfig::default(), 10, &mut rng(9));
+        let before = net.stats.total();
+        net.maintenance_cycle();
+        let after = net.stats.total();
+        assert!(after > before);
+        assert!(net.stats.stabilize >= 10);
+        assert!(net.stats.fix_finger >= 10);
+    }
+}

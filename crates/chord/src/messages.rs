@@ -1,0 +1,181 @@
+//! Message accounting.
+//!
+//! Every simulated RPC increments a counter here. The paper repeatedly
+//! argues about strategies' *bandwidth* ("the estimation based neighbor
+//! injection requires fewer messages", "invitation … greatly reducing the
+//! maintenance costs"); counting messages lets the experiments check the
+//! ordering instead of taking it on faith.
+
+/// The kinds of protocol messages Chord exchanges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// One hop of an iterative `find_successor` routing step.
+    FindSuccessorHop,
+    /// `get_predecessor` / stabilize probe.
+    Stabilize,
+    /// `notify` — informing a successor about a potential predecessor.
+    Notify,
+    /// Fetching a successor's successor list for repair.
+    SuccessorListPull,
+    /// Finger-table fix lookup (counted separately from app lookups).
+    FixFinger,
+    /// Liveness probe.
+    Ping,
+    /// Pushing a replica of a key range to a successor.
+    ReplicaPush,
+    /// Transferring key ownership (join/leave handoff).
+    KeyTransfer,
+    /// Asking a neighbor how many tasks it has (smart neighbor injection).
+    LoadQuery,
+    /// An invitation broadcast from an overloaded node to predecessors.
+    Invitation,
+    /// A routed value store (key-value API put).
+    StoreValue,
+    /// A routed value fetch (key-value API get).
+    FetchValue,
+}
+
+/// Tallies of every message kind plus derived totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    pub find_successor_hops: u64,
+    pub stabilize: u64,
+    pub notify: u64,
+    pub successor_list_pulls: u64,
+    pub fix_finger: u64,
+    pub ping: u64,
+    pub replica_push: u64,
+    pub key_transfer: u64,
+    pub load_query: u64,
+    pub invitation: u64,
+    pub store_value: u64,
+    pub fetch_value: u64,
+}
+
+impl MessageStats {
+    pub fn new() -> MessageStats {
+        MessageStats::default()
+    }
+
+    /// Records one message of the given kind.
+    pub fn record(&mut self, kind: MessageKind) {
+        self.record_n(kind, 1);
+    }
+
+    /// Records `n` messages of the given kind.
+    pub fn record_n(&mut self, kind: MessageKind, n: u64) {
+        let slot = match kind {
+            MessageKind::FindSuccessorHop => &mut self.find_successor_hops,
+            MessageKind::Stabilize => &mut self.stabilize,
+            MessageKind::Notify => &mut self.notify,
+            MessageKind::SuccessorListPull => &mut self.successor_list_pulls,
+            MessageKind::FixFinger => &mut self.fix_finger,
+            MessageKind::Ping => &mut self.ping,
+            MessageKind::ReplicaPush => &mut self.replica_push,
+            MessageKind::KeyTransfer => &mut self.key_transfer,
+            MessageKind::LoadQuery => &mut self.load_query,
+            MessageKind::Invitation => &mut self.invitation,
+            MessageKind::StoreValue => &mut self.store_value,
+            MessageKind::FetchValue => &mut self.fetch_value,
+        };
+        *slot += n;
+    }
+
+    /// Total messages of every kind.
+    pub fn total(&self) -> u64 {
+        self.find_successor_hops
+            + self.stabilize
+            + self.notify
+            + self.successor_list_pulls
+            + self.fix_finger
+            + self.ping
+            + self.replica_push
+            + self.key_transfer
+            + self.load_query
+            + self.invitation
+            + self.store_value
+            + self.fetch_value
+    }
+
+    /// Messages attributable to load-balancing decisions rather than
+    /// routine ring upkeep.
+    pub fn strategy_overhead(&self) -> u64 {
+        self.load_query + self.invitation
+    }
+
+    /// Column-wise sum, for aggregating parallel trials.
+    pub fn merge(&mut self, other: &MessageStats) {
+        self.find_successor_hops += other.find_successor_hops;
+        self.stabilize += other.stabilize;
+        self.notify += other.notify;
+        self.successor_list_pulls += other.successor_list_pulls;
+        self.fix_finger += other.fix_finger;
+        self.ping += other.ping;
+        self.replica_push += other.replica_push;
+        self.key_transfer += other.key_transfer;
+        self.load_query += other.load_query;
+        self.invitation += other.invitation;
+        self.store_value += other.store_value;
+        self.fetch_value += other.fetch_value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_increments_the_right_counter() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::Notify);
+        s.record(MessageKind::Notify);
+        s.record(MessageKind::Ping);
+        assert_eq!(s.notify, 2);
+        assert_eq!(s.ping, 1);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn record_n_bulk() {
+        let mut s = MessageStats::new();
+        s.record_n(MessageKind::ReplicaPush, 50);
+        assert_eq!(s.replica_push, 50);
+        assert_eq!(s.total(), 50);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = MessageStats::new();
+        a.record(MessageKind::LoadQuery);
+        let mut b = MessageStats::new();
+        b.record_n(MessageKind::LoadQuery, 3);
+        b.record(MessageKind::Invitation);
+        a.merge(&b);
+        assert_eq!(a.load_query, 4);
+        assert_eq!(a.invitation, 1);
+        assert_eq!(a.strategy_overhead(), 5);
+    }
+
+    #[test]
+    fn every_kind_is_counted_in_total() {
+        let kinds = [
+            MessageKind::FindSuccessorHop,
+            MessageKind::Stabilize,
+            MessageKind::Notify,
+            MessageKind::SuccessorListPull,
+            MessageKind::FixFinger,
+            MessageKind::Ping,
+            MessageKind::ReplicaPush,
+            MessageKind::KeyTransfer,
+            MessageKind::LoadQuery,
+            MessageKind::Invitation,
+            MessageKind::StoreValue,
+            MessageKind::FetchValue,
+        ];
+        let mut s = MessageStats::new();
+        for k in kinds {
+            s.record(k);
+        }
+        assert_eq!(s.total(), kinds.len() as u64);
+    }
+}

@@ -1,0 +1,772 @@
+//! The simulated Chord network: node container, membership, key
+//! placement, and iterative lookups with message accounting.
+
+use crate::messages::{MessageKind, MessageStats};
+use crate::node::Node;
+use autobal_id::{ring, Id, ID_BITS};
+use std::collections::BTreeMap;
+
+/// Configuration knobs for the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Successor-list length (paper default: 5, also tested at 10).
+    pub successor_list_len: usize,
+    /// Predecessor-list length (paper: "nodes also keep track of the same
+    /// number of predecessors").
+    pub predecessor_list_len: usize,
+    /// How many successors receive active backups of a node's keys.
+    pub replication_factor: usize,
+    /// Fingers fixed per node per maintenance cycle.
+    pub fingers_per_cycle: usize,
+    /// Abort threshold for a single lookup (routing loop safety valve).
+    pub max_lookup_hops: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            successor_list_len: 5,
+            predecessor_list_len: 5,
+            replication_factor: 5,
+            fingers_per_cycle: 16,
+            max_lookup_hops: 512,
+        }
+    }
+}
+
+/// Errors surfaced by network operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkError {
+    /// Operation requires at least one live node.
+    EmptyNetwork,
+    /// A node with this id already exists.
+    DuplicateId(Id),
+    /// The referenced node is not in the network.
+    UnknownNode(Id),
+    /// Routing did not converge within `max_lookup_hops`.
+    LookupFailed { hops: u32 },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::EmptyNetwork => write!(f, "network has no live nodes"),
+            NetworkError::DuplicateId(id) => write!(f, "duplicate node id {id}"),
+            NetworkError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            NetworkError::LookupFailed { hops } => {
+                write!(f, "lookup failed to converge after {hops} hops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Outcome of an iterative lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The node responsible for the key.
+    pub owner: Id,
+    /// Routing hops taken (0 when the starting node already knows).
+    pub hops: u32,
+    /// The nodes visited, starting node first.
+    pub path: Vec<Id>,
+}
+
+/// A whole simulated Chord overlay.
+///
+/// Nodes are owned by the network and communicate through it; every
+/// simulated RPC bumps [`Network::stats`].
+#[derive(Debug, Clone)]
+pub struct Network {
+    pub(crate) cfg: NetConfig,
+    pub(crate) nodes: BTreeMap<Id, Node>,
+    /// Message counters for the lifetime of the network.
+    pub stats: MessageStats,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(cfg: NetConfig) -> Network {
+        Network {
+            cfg,
+            nodes: BTreeMap::new(),
+            stats: MessageStats::new(),
+        }
+    }
+
+    /// Creates a network of `n` nodes with uniformly random IDs and a
+    /// fully stabilized ring (correct successor/predecessor lists and
+    /// finger tables). This models the paper's assumption that "the
+    /// network starts our experiments stable".
+    pub fn bootstrap<R: rand::Rng + ?Sized>(cfg: NetConfig, n: usize, rng: &mut R) -> Network {
+        let mut ids = Vec::with_capacity(n);
+        let mut net = Network::new(cfg);
+        while ids.len() < n {
+            let id = Id::random(rng);
+            if let std::collections::btree_map::Entry::Vacant(e) = net.nodes.entry(id) {
+                e.insert(Node::solo(id));
+                ids.push(id);
+            }
+        }
+        net.rewire_ground_truth();
+        net
+    }
+
+    /// Creates a fully stabilized network from explicit ids (used for
+    /// evenly-spaced rings and deterministic tests). Duplicate ids error.
+    pub fn from_ids(cfg: NetConfig, ids: &[Id]) -> Result<Network, NetworkError> {
+        let mut net = Network::new(cfg);
+        for &id in ids {
+            if net.nodes.insert(id, Node::solo(id)).is_some() {
+                return Err(NetworkError::DuplicateId(id));
+            }
+        }
+        net.rewire_ground_truth();
+        Ok(net)
+    }
+
+    /// The configuration this network runs with.
+    pub fn config(&self) -> NetConfig {
+        self.cfg
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are live.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All live node ids in ring (ascending) order.
+    pub fn node_ids(&self) -> Vec<Id> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Immutable access to one node's state.
+    pub fn node(&self, id: Id) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access (tests and strategies that tweak state directly).
+    pub fn node_mut(&mut self, id: Id) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Ground-truth owner of `key`: the first live node clockwise from
+    /// the key (the BTreeMap oracle, *not* a protocol message).
+    pub fn owner_of(&self, key: Id) -> Option<Id> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(key..)
+            .next()
+            .map(|(id, _)| *id)
+            .or_else(|| self.nodes.keys().next().copied())
+    }
+
+    /// Ground-truth successor of an id, excluding the id itself.
+    pub(crate) fn truth_successor(&self, id: Id) -> Option<Id> {
+        if self.nodes.len() < 2 && self.nodes.contains_key(&id) {
+            return Some(id);
+        }
+        let after = self
+            .nodes
+            .range((
+                std::ops::Bound::Excluded(id),
+                std::ops::Bound::Unbounded,
+            ))
+            .next()
+            .map(|(i, _)| *i);
+        after.or_else(|| self.nodes.keys().next().copied())
+    }
+
+    /// Ground-truth predecessor of an id, excluding the id itself.
+    pub(crate) fn truth_predecessor(&self, id: Id) -> Option<Id> {
+        if self.nodes.len() < 2 && self.nodes.contains_key(&id) {
+            return Some(id);
+        }
+        let before = self.nodes.range(..id).next_back().map(|(i, _)| *i);
+        before.or_else(|| self.nodes.keys().next_back().copied())
+    }
+
+    /// Stores a key on its ground-truth owner. Returns the owner.
+    ///
+    /// # Panics
+    /// Panics if the network is empty.
+    pub fn insert_key(&mut self, key: Id) -> Id {
+        let owner = self.owner_of(key).expect("insert_key on empty network");
+        self.nodes.get_mut(&owner).unwrap().keys.insert(key);
+        owner
+    }
+
+    /// Total number of primary-copy keys across all nodes.
+    pub fn total_keys(&self) -> usize {
+        self.nodes.values().map(|n| n.keys.len()).sum()
+    }
+
+    /// Workload (key count) per node, in ring order.
+    pub fn loads(&self) -> Vec<u64> {
+        self.nodes.values().map(|n| n.keys.len() as u64).collect()
+    }
+
+    /// Iterative Chord lookup from node `from` for `key`, using only
+    /// node-local routing state. Dead references encountered en route are
+    /// lazily repaired (timeout → forget), exactly like a real deployment.
+    pub fn lookup(&mut self, from: Id, key: Id) -> Result<LookupResult, NetworkError> {
+        if !self.nodes.contains_key(&from) {
+            return Err(NetworkError::UnknownNode(from));
+        }
+        let mut cur = from;
+        let mut hops = 0u32;
+        let mut path = vec![cur];
+        loop {
+            if hops as usize > self.cfg.max_lookup_hops {
+                return Err(NetworkError::LookupFailed { hops });
+            }
+            let node = &self.nodes[&cur];
+            // Does the current node already own the key?
+            if node.owns(key) && self.nodes.contains_key(&node.predecessor()) {
+                return Ok(LookupResult { owner: cur, hops, path });
+            }
+            let succ = node.successor();
+            // Key between cur and its live successor → successor owns it.
+            if self.nodes.contains_key(&succ) && ring::in_arc(cur, succ, key) {
+                self.stats.record(MessageKind::FindSuccessorHop);
+                hops += 1;
+                path.push(succ);
+                return Ok(LookupResult { owner: succ, hops, path });
+            }
+            // Otherwise route through the closest preceding live entry.
+            let next = {
+                let node = &self.nodes[&cur];
+                let mut candidate = node.closest_preceding(key);
+                // Skip dead candidates, forgetting them as we go.
+                loop {
+                    match candidate {
+                        Some(c) if self.nodes.contains_key(&c) => break Some(c),
+                        Some(c) => {
+                            self.stats.record(MessageKind::Ping);
+                            let n = self.nodes.get_mut(&cur).unwrap();
+                            n.forget(c);
+                            candidate = n.closest_preceding(key);
+                        }
+                        None => break None,
+                    }
+                }
+            };
+            match next {
+                Some(n) if n != cur => {
+                    self.stats.record(MessageKind::FindSuccessorHop);
+                    hops += 1;
+                    path.push(n);
+                    cur = n;
+                }
+                _ => {
+                    // No better candidate: fall to the live successor.
+                    let succ = self.first_live_successor(cur);
+                    match succ {
+                        Some(s) if s != cur => {
+                            self.stats.record(MessageKind::FindSuccessorHop);
+                            hops += 1;
+                            path.push(s);
+                            cur = s;
+                        }
+                        _ => {
+                            // Alone in the ring (or fully partitioned):
+                            // current node is the owner by default.
+                            return Ok(LookupResult { owner: cur, hops, path });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// First entry of `id`'s successor list that is still alive, pruning
+    /// dead ones (each probe counts as a ping).
+    pub(crate) fn first_live_successor(&mut self, id: Id) -> Option<Id> {
+        loop {
+            let cand = self.nodes.get(&id)?.successors.first().copied()?;
+            if cand == id {
+                return Some(id);
+            }
+            if self.nodes.contains_key(&cand) {
+                return Some(cand);
+            }
+            self.stats.record(MessageKind::Ping);
+            self.nodes.get_mut(&id).unwrap().forget(cand);
+            if self.nodes.get(&id)?.successors.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// A new node joins through `contact`. Performs the Chord join
+    /// protocol: lookup of the new id, key handoff from the successor,
+    /// and immediate linking of the neighbor pointers (the paper cites
+    /// \[21\] for nodes joining "extremely quickly"; subsequent maintenance
+    /// cycles rebuild fingers and lists incrementally).
+    pub fn join(&mut self, new_id: Id, contact: Id) -> Result<(), NetworkError> {
+        if self.nodes.contains_key(&new_id) {
+            return Err(NetworkError::DuplicateId(new_id));
+        }
+        if self.nodes.is_empty() {
+            self.nodes.insert(new_id, Node::solo(new_id));
+            return Ok(());
+        }
+        if !self.nodes.contains_key(&contact) {
+            return Err(NetworkError::UnknownNode(contact));
+        }
+
+        let succ_id = self.lookup(contact, new_id)?.owner;
+        let pred_id = self
+            .nodes
+            .get(&succ_id)
+            .map(|s| s.predecessor())
+            .filter(|p| self.nodes.contains_key(p))
+            .unwrap_or_else(|| self.truth_predecessor(succ_id).unwrap());
+
+        // Take over keys in (pred, new_id] from the successor, values
+        // included.
+        let succ = self.nodes.get_mut(&succ_id).unwrap();
+        let moved: Vec<Id> = succ
+            .keys
+            .iter()
+            .copied()
+            .filter(|&k| !ring::in_arc(new_id, succ_id, k))
+            .collect();
+        let mut moved_values = std::collections::BTreeMap::new();
+        for k in &moved {
+            succ.keys.remove(k);
+            if let Some(v) = succ.store.remove(k) {
+                moved_values.insert(*k, v);
+            }
+        }
+        self.stats
+            .record_n(MessageKind::KeyTransfer, moved.len().max(1) as u64);
+
+        // Build the new node.
+        let mut node = Node::solo(new_id);
+        node.successors = {
+            let succ = &self.nodes[&succ_id];
+            let mut list = vec![succ_id];
+            list.extend(succ.successors.iter().copied().filter(|&s| s != new_id));
+            list.truncate(self.cfg.successor_list_len);
+            list
+        };
+        node.predecessors = {
+            let pred = &self.nodes[&pred_id];
+            let mut list = vec![pred_id];
+            list.extend(pred.predecessors.iter().copied().filter(|&p| p != new_id));
+            list.truncate(self.cfg.predecessor_list_len);
+            list
+        };
+        node.keys = moved.into_iter().collect();
+        node.store = moved_values;
+        self.nodes.insert(new_id, node);
+
+        // Link the neighbors to us.
+        let slen = self.cfg.successor_list_len;
+        let plen = self.cfg.predecessor_list_len;
+        if let Some(p) = self.nodes.get_mut(&pred_id) {
+            p.successors.retain(|&s| s != new_id);
+            p.successors.insert(0, new_id);
+            p.successors.truncate(slen);
+        }
+        if let Some(s) = self.nodes.get_mut(&succ_id) {
+            s.predecessors.retain(|&q| q != new_id);
+            s.predecessors.insert(0, new_id);
+            s.predecessors.truncate(plen);
+        }
+        self.stats.record(MessageKind::Notify);
+        Ok(())
+    }
+
+    /// Graceful departure: keys are handed to the successor, neighbors
+    /// are relinked, and the node is removed.
+    pub fn leave(&mut self, id: Id) -> Result<(), NetworkError> {
+        if !self.nodes.contains_key(&id) {
+            return Err(NetworkError::UnknownNode(id));
+        }
+        if self.nodes.len() == 1 {
+            self.nodes.remove(&id);
+            return Ok(());
+        }
+        let succ_id = self.truth_successor(id).unwrap();
+        let pred_id = self.truth_predecessor(id).unwrap();
+
+        let node = self.nodes.remove(&id).unwrap();
+        let keys = node.keys;
+        let store = node.store;
+        self.stats
+            .record_n(MessageKind::KeyTransfer, keys.len().max(1) as u64);
+        let succ = self.nodes.get_mut(&succ_id).unwrap();
+        succ.keys.extend(keys);
+        succ.store.extend(store);
+        succ.forget(id);
+        succ.predecessors.retain(|&p| p != pred_id);
+        succ.predecessors.insert(0, pred_id);
+        succ.predecessors.truncate(self.cfg.predecessor_list_len);
+
+        let slen = self.cfg.successor_list_len;
+        let pred = self.nodes.get_mut(&pred_id).unwrap();
+        pred.forget(id);
+        pred.successors.retain(|&s| s != succ_id);
+        pred.successors.insert(0, succ_id);
+        pred.successors.truncate(slen);
+        self.stats.record(MessageKind::Notify);
+        Ok(())
+    }
+
+    /// Abrupt failure: the node vanishes without handing anything off.
+    /// Its primary keys are gone until replicas are promoted by the next
+    /// maintenance cycle.
+    pub fn fail(&mut self, id: Id) -> Result<(), NetworkError> {
+        self.nodes
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(NetworkError::UnknownNode(id))
+    }
+
+    /// Rebuilds every node's successor/predecessor lists and finger
+    /// tables from ground truth — the "perfectly stabilized" state.
+    pub fn rewire_ground_truth(&mut self) {
+        let ids: Vec<Id> = self.nodes.keys().copied().collect();
+        let n = ids.len();
+        if n == 0 {
+            return;
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let mut successors = Vec::with_capacity(self.cfg.successor_list_len);
+            for k in 1..=self.cfg.successor_list_len.min(n.saturating_sub(1).max(1)) {
+                successors.push(ids[(i + k) % n]);
+            }
+            if successors.is_empty() {
+                successors.push(id);
+            }
+            let mut predecessors = Vec::with_capacity(self.cfg.predecessor_list_len);
+            for k in 1..=self.cfg.predecessor_list_len.min(n.saturating_sub(1).max(1)) {
+                predecessors.push(ids[(i + n - k % n) % n]);
+            }
+            if predecessors.is_empty() {
+                predecessors.push(id);
+            }
+            let mut fingers = vec![None; ID_BITS as usize];
+            for (k, f) in fingers.iter_mut().enumerate() {
+                let target = id.wrapping_add(Id::pow2(k as u32));
+                *f = self.owner_of_in(&ids, target);
+            }
+            let node = self.nodes.get_mut(&id).unwrap();
+            node.successors = successors;
+            node.predecessors = predecessors;
+            node.fingers = fingers;
+        }
+    }
+
+    /// Owner lookup against a sorted id slice (helper for rewiring).
+    fn owner_of_in(&self, sorted: &[Id], key: Id) -> Option<Id> {
+        if sorted.is_empty() {
+            return None;
+        }
+        match sorted.binary_search(&key) {
+            Ok(i) => Some(sorted[i]),
+            Err(i) if i < sorted.len() => Some(sorted[i]),
+            Err(_) => Some(sorted[0]),
+        }
+    }
+
+    /// Checks that every node's immediate successor and predecessor agree
+    /// with ground truth and every key sits on its rightful owner.
+    pub fn is_consistent(&self) -> bool {
+        for (&id, node) in &self.nodes {
+            if node.successor() != self.truth_successor(id).unwrap_or(id) {
+                return false;
+            }
+            if node.predecessor() != self.truth_predecessor(id).unwrap_or(id) {
+                return false;
+            }
+            for &k in &node.keys {
+                if self.owner_of(k) != Some(id) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobal_id::sha1::sha1_id_of_u64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bootstrap_is_consistent() {
+        let net = Network::bootstrap(NetConfig::default(), 50, &mut rng(1));
+        assert_eq!(net.len(), 50);
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn bootstrap_single_node() {
+        let net = Network::bootstrap(NetConfig::default(), 1, &mut rng(2));
+        let id = net.node_ids()[0];
+        let n = net.node(id).unwrap();
+        assert_eq!(n.successor(), id);
+        assert_eq!(n.predecessor(), id);
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn from_ids_rejects_duplicates() {
+        let a = Id::from(5u64);
+        assert!(matches!(
+            Network::from_ids(NetConfig::default(), &[a, a]),
+            Err(NetworkError::DuplicateId(_))
+        ));
+    }
+
+    #[test]
+    fn owner_of_wraps_around() {
+        let ids = [Id::from(100u64), Id::from(200u64)];
+        let net = Network::from_ids(NetConfig::default(), &ids).unwrap();
+        assert_eq!(net.owner_of(Id::from(150u64)), Some(Id::from(200u64)));
+        assert_eq!(net.owner_of(Id::from(250u64)), Some(Id::from(100u64)));
+        assert_eq!(net.owner_of(Id::from(100u64)), Some(Id::from(100u64)));
+        assert_eq!(net.owner_of(Id::from(50u64)), Some(Id::from(100u64)));
+    }
+
+    #[test]
+    fn insert_key_lands_on_owner() {
+        let mut net = Network::bootstrap(NetConfig::default(), 20, &mut rng(3));
+        for k in 0..200u64 {
+            let key = sha1_id_of_u64(k);
+            let owner = net.insert_key(key);
+            assert_eq!(net.owner_of(key), Some(owner));
+            assert!(net.node(owner).unwrap().keys.contains(&key));
+        }
+        assert_eq!(net.total_keys(), 200);
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn lookup_finds_owner_from_every_node() {
+        let mut net = Network::bootstrap(NetConfig::default(), 64, &mut rng(4));
+        let key = sha1_id_of_u64(999);
+        let truth = net.owner_of(key).unwrap();
+        for from in net.node_ids() {
+            let res = net.lookup(from, key).unwrap();
+            assert_eq!(res.owner, truth, "from {from}");
+            assert_eq!(res.path.first(), Some(&from));
+            assert_eq!(res.path.last(), Some(&res.owner));
+        }
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        let mut net = Network::bootstrap(NetConfig::default(), 256, &mut rng(5));
+        let ids = net.node_ids();
+        let mut total_hops = 0u64;
+        let mut lookups = 0u64;
+        for k in 0..200u64 {
+            let key = sha1_id_of_u64(k);
+            let from = ids[(k as usize * 37) % ids.len()];
+            let res = net.lookup(from, key).unwrap();
+            total_hops += res.hops as u64;
+            lookups += 1;
+        }
+        let avg = total_hops as f64 / lookups as f64;
+        // Expected ≈ ½ log2 256 = 4; allow generous slack.
+        assert!(avg < 8.0, "average hops {avg}");
+        assert!(avg > 1.0, "suspiciously fast: {avg}");
+    }
+
+    #[test]
+    fn lookup_from_unknown_node_errors() {
+        let mut net = Network::bootstrap(NetConfig::default(), 4, &mut rng(6));
+        let bogus = Id::from(1u64);
+        assert!(!net.nodes.contains_key(&bogus));
+        assert_eq!(
+            net.lookup(bogus, Id::from(2u64)),
+            Err(NetworkError::UnknownNode(bogus))
+        );
+    }
+
+    #[test]
+    fn join_takes_over_key_range() {
+        let ids = [Id::from(1000u64), Id::from(2000u64)];
+        let mut net = Network::from_ids(NetConfig::default(), &ids).unwrap();
+        // Keys 1500 and 1800 belong to 2000.
+        net.insert_key(Id::from(1500u64));
+        net.insert_key(Id::from(1800u64));
+        // A node at 1600 takes over (1000, 1600]: key 1500.
+        net.join(Id::from(1600u64), ids[0]).unwrap();
+        let newcomer = net.node(Id::from(1600u64)).unwrap();
+        assert!(newcomer.keys.contains(&Id::from(1500u64)));
+        assert!(!newcomer.keys.contains(&Id::from(1800u64)));
+        let old = net.node(Id::from(2000u64)).unwrap();
+        assert!(old.keys.contains(&Id::from(1800u64)));
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn join_into_empty_network() {
+        let mut net = Network::new(NetConfig::default());
+        net.join(Id::from(42u64), Id::from(42u64)).unwrap();
+        assert_eq!(net.len(), 1);
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn join_duplicate_errors() {
+        let mut net = Network::bootstrap(NetConfig::default(), 3, &mut rng(7));
+        let existing = net.node_ids()[0];
+        assert_eq!(
+            net.join(existing, existing),
+            Err(NetworkError::DuplicateId(existing))
+        );
+    }
+
+    #[test]
+    fn many_joins_preserve_consistency_and_keys() {
+        let mut net = Network::bootstrap(NetConfig::default(), 8, &mut rng(8));
+        for k in 0..300u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        let contact = net.node_ids()[0];
+        let mut r = rng(9);
+        for _ in 0..32 {
+            let id = Id::random(&mut r);
+            net.join(id, contact).unwrap();
+        }
+        assert_eq!(net.len(), 40);
+        assert_eq!(net.total_keys(), 300);
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn graceful_leave_hands_keys_to_successor() {
+        let mut net = Network::bootstrap(NetConfig::default(), 10, &mut rng(10));
+        for k in 0..100u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        let victim = net.node_ids()[3];
+        let succ = net.truth_successor(victim).unwrap();
+        let expected = net.node(victim).unwrap().keys.len() + net.node(succ).unwrap().keys.len();
+        net.leave(victim).unwrap();
+        assert_eq!(net.node(succ).unwrap().keys.len(), expected);
+        assert_eq!(net.total_keys(), 100);
+        assert!(net.is_consistent());
+    }
+
+    #[test]
+    fn leave_last_node_empties_network() {
+        let mut net = Network::bootstrap(NetConfig::default(), 1, &mut rng(11));
+        let id = net.node_ids()[0];
+        net.leave(id).unwrap();
+        assert!(net.is_empty());
+        assert_eq!(net.leave(id), Err(NetworkError::UnknownNode(id)));
+    }
+
+    #[test]
+    fn fail_drops_primary_keys() {
+        let mut net = Network::bootstrap(NetConfig::default(), 10, &mut rng(12));
+        for k in 0..100u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        let victim = net.node_ids()[0];
+        let lost = net.node(victim).unwrap().keys.len();
+        net.fail(victim).unwrap();
+        assert_eq!(net.total_keys(), 100 - lost);
+    }
+
+    #[test]
+    fn lookup_survives_stale_fingers() {
+        let mut net = Network::bootstrap(NetConfig::default(), 64, &mut rng(13));
+        // Kill a quarter of the nodes without any repair.
+        let ids = net.node_ids();
+        for id in ids.iter().step_by(4) {
+            net.fail(*id).unwrap();
+        }
+        let live = net.node_ids();
+        let key = sha1_id_of_u64(5);
+        let truth = net.owner_of(key).unwrap();
+        let res = net.lookup(live[0], key).unwrap();
+        assert_eq!(res.owner, truth);
+    }
+
+    #[test]
+    fn single_node_lookup_is_trivial() {
+        let mut net = Network::bootstrap(NetConfig::default(), 1, &mut rng(14));
+        let id = net.node_ids()[0];
+        let res = net.lookup(id, Id::from(123u64)).unwrap();
+        assert_eq!(res.owner, id);
+        assert_eq!(res.hops, 0);
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let id = Id::from(7u64);
+        assert_eq!(
+            NetworkError::EmptyNetwork.to_string(),
+            "network has no live nodes"
+        );
+        assert!(NetworkError::DuplicateId(id).to_string().contains("duplicate"));
+        assert!(NetworkError::UnknownNode(id).to_string().contains("unknown"));
+        assert!(NetworkError::LookupFailed { hops: 9 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&NetworkError::EmptyNetwork);
+    }
+
+    #[test]
+    fn config_default_values() {
+        let c = NetConfig::default();
+        assert_eq!(c.successor_list_len, 5);
+        assert_eq!(c.predecessor_list_len, 5);
+        assert_eq!(c.replication_factor, 5);
+        assert!(c.max_lookup_hops >= 160);
+    }
+
+    #[test]
+    fn join_through_dead_contact_errors() {
+        let mut rng = rand::thread_rng();
+        let mut net = Network::bootstrap(NetConfig::default(), 4, &mut rng);
+        let ghost = Id::from(1u64);
+        assert!(!net.contains(ghost));
+        let newcomer = Id::from(2u64);
+        assert_eq!(
+            net.join(newcomer, ghost),
+            Err(NetworkError::UnknownNode(ghost))
+        );
+    }
+
+    #[test]
+    fn owner_of_on_empty_network_is_none() {
+        let net = Network::new(NetConfig::default());
+        assert_eq!(net.owner_of(Id::from(5u64)), None);
+        assert!(net.is_empty());
+        assert!(net.is_consistent(), "vacuously consistent");
+    }
+}

@@ -1,0 +1,632 @@
+//! The simulation ring: an ordered map of virtual nodes with task sets.
+//!
+//! This is the fast substrate the tick simulator runs on (the
+//! protocol-level Chord implementation lives in `autobal-chord`; see
+//! DESIGN.md for why the simulator uses an oracle ring — identical
+//! placement semantics, none of the per-message overhead, exactly like
+//! the paper's own simulator).
+//!
+//! Every virtual node owns the clockwise arc `(predecessor, self]` and
+//! holds the keys of the *remaining* tasks in that arc, sorted
+//! ascending. Joins split the successor's task vector; departures merge
+//! into the successor.
+
+use crate::worker::WorkerId;
+use autobal_id::{ring as arc, Id};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// One virtual node: a primary or a Sybil.
+#[derive(Debug, Clone)]
+pub struct VNode {
+    /// The physical worker controlling this position.
+    pub owner: WorkerId,
+    /// Remaining task keys in this node's arc, in no particular order.
+    /// Consumption removes a uniformly random element (see
+    /// [`Ring::pop_task`]), so the remaining keys stay uniformly spread
+    /// over the arc — the property Sybil splits rely on.
+    pub tasks: Vec<Id>,
+}
+
+/// Errors from ring operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// A virtual node already sits at this exact id.
+    Occupied(Id),
+    /// No virtual node at this id.
+    Unknown(Id),
+    /// Removing the last virtual node would strand its tasks.
+    LastVNode,
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::Occupied(id) => write!(f, "position {id} already occupied"),
+            RingError::Unknown(id) => write!(f, "no virtual node at {id}"),
+            RingError::LastVNode => write!(f, "cannot remove the last virtual node"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// The ring of virtual nodes.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    map: BTreeMap<Id, VNode>,
+    total_tasks: u64,
+    /// xorshift state for uniform task consumption (deterministic).
+    pop_rng: u64,
+}
+
+impl Default for Ring {
+    fn default() -> Ring {
+        Ring::new()
+    }
+}
+
+impl Ring {
+    pub fn new() -> Ring {
+        Ring {
+            map: BTreeMap::new(),
+            total_tasks: 0,
+            pop_rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next pseudo-random index in `0..len` (xorshift64*; cheap and
+    /// deterministic — good enough for picking which task to run next).
+    #[inline]
+    fn next_pop_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0);
+        let mut x = self.pop_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.pop_rng = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % len as u64) as usize
+    }
+
+    /// Number of virtual nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total remaining tasks across the ring.
+    pub fn total_tasks(&self) -> u64 {
+        self.total_tasks
+    }
+
+    pub fn contains(&self, id: Id) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    pub fn vnode(&self, id: Id) -> Option<&VNode> {
+        self.map.get(&id)
+    }
+
+    /// Remaining tasks at one virtual node.
+    pub fn load(&self, id: Id) -> u64 {
+        self.map.get(&id).map_or(0, |v| v.tasks.len() as u64)
+    }
+
+    /// Iterates `(id, vnode)` in ring (ascending id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Id, &VNode)> {
+        self.map.iter()
+    }
+
+    /// The virtual node whose arc contains `key` (first id ≥ key,
+    /// wrapping to the smallest id).
+    pub fn owner_of_key(&self, key: Id) -> Option<Id> {
+        self.map
+            .range(key..)
+            .next()
+            .map(|(id, _)| *id)
+            .or_else(|| self.map.keys().next().copied())
+    }
+
+    /// Clockwise neighbor of `id` (excluding itself; `id` itself when it
+    /// is the only node). `id` need not be present.
+    pub fn successor_of(&self, id: Id) -> Option<Id> {
+        if self.map.is_empty() {
+            return None;
+        }
+        self.map
+            .range((Bound::Excluded(id), Bound::Unbounded))
+            .next()
+            .map(|(i, _)| *i)
+            .or_else(|| self.map.keys().next().copied())
+    }
+
+    /// Counter-clockwise neighbor of `id` (excluding itself).
+    pub fn predecessor_of(&self, id: Id) -> Option<Id> {
+        if self.map.is_empty() {
+            return None;
+        }
+        self.map
+            .range(..id)
+            .next_back()
+            .map(|(i, _)| *i)
+            .or_else(|| self.map.keys().next_back().copied())
+    }
+
+    /// Up to `k` distinct clockwise successors of `id`, nearest first,
+    /// stopping early if the walk wraps back to `id`.
+    pub fn successors(&self, id: Id, k: usize) -> Vec<Id> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = id;
+        for _ in 0..k {
+            match self.successor_of(cur) {
+                Some(s) if s != id => {
+                    out.push(s);
+                    cur = s;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Up to `k` distinct counter-clockwise predecessors, nearest first.
+    pub fn predecessors(&self, id: Id, k: usize) -> Vec<Id> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = id;
+        for _ in 0..k {
+            match self.predecessor_of(cur) {
+                Some(p) if p != id => {
+                    out.push(p);
+                    cur = p;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Inserts a virtual node at `id` for `owner`, splitting the
+    /// successor's task set: keys in `(old predecessor, id]` move to the
+    /// newcomer. Returns how many tasks were acquired.
+    pub fn insert_vnode(&mut self, id: Id, owner: WorkerId) -> Result<u64, RingError> {
+        if self.map.contains_key(&id) {
+            return Err(RingError::Occupied(id));
+        }
+        if self.map.is_empty() {
+            self.map.insert(id, VNode { owner, tasks: Vec::new() });
+            return Ok(0);
+        }
+        let succ_id = self.owner_of_key(id).expect("non-empty ring");
+        let succ = self.map.get_mut(&succ_id).expect("successor exists");
+        // Keys keeping with the successor are those in (id, succ_id];
+        // everything else in its vector belongs to the newcomer.
+        let (keep, give): (Vec<Id>, Vec<Id>) = succ
+            .tasks
+            .iter()
+            .copied()
+            .partition(|&k| arc::in_arc(id, succ_id, k));
+        succ.tasks = keep;
+        let acquired = give.len() as u64;
+        self.map.insert(id, VNode { owner, tasks: give });
+        Ok(acquired)
+    }
+
+    /// Removes the virtual node at `id`, merging its remaining tasks
+    /// into its successor. Returns `(owner, tasks_moved, successor)`.
+    pub fn remove_vnode(&mut self, id: Id) -> Result<(WorkerId, u64, Id), RingError> {
+        if !self.map.contains_key(&id) {
+            return Err(RingError::Unknown(id));
+        }
+        if self.map.len() == 1 {
+            let v = &self.map[&id];
+            if v.tasks.is_empty() {
+                let v = self.map.remove(&id).unwrap();
+                return Ok((v.owner, 0, id));
+            }
+            return Err(RingError::LastVNode);
+        }
+        let succ_id = self.successor_of(id).expect("len >= 2");
+        let v = self.map.remove(&id).unwrap();
+        let moved = v.tasks.len() as u64;
+        let succ = self.map.get_mut(&succ_id).unwrap();
+        succ.tasks.extend_from_slice(&v.tasks);
+        Ok((v.owner, moved, succ_id))
+    }
+
+    /// Distributes an arbitrary batch of task keys onto their owning
+    /// virtual nodes (used for initial placement). Keys may arrive in
+    /// any order.
+    pub fn assign_tasks(&mut self, mut keys: Vec<Id>) {
+        assert!(!self.map.is_empty(), "assign_tasks on empty ring");
+        keys.sort_unstable();
+        self.total_tasks += keys.len() as u64;
+        let ids: Vec<Id> = self.map.keys().copied().collect();
+        // For consecutive vnode ids a < b, b owns integer range (a, b].
+        // The smallest vnode also picks up the wrap: keys > last ∪ keys ≤ first.
+        let mut start = 0usize;
+        for w in ids.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // keys in (a, b]: advance start past ≤ a, then take ≤ b.
+            let lo = keys[start..].partition_point(|&k| k <= a) + start;
+            let hi = keys[lo..].partition_point(|&k| k <= b) + lo;
+            if lo > start {
+                // Keys in (prev_b, a] belong to a — but windows already
+                // covered them; this branch only triggers for the head
+                // chunk handled below.
+            }
+            let node = self.map.get_mut(&b).unwrap();
+            extend_sorted(&mut node.tasks, &keys[lo..hi]);
+            start = hi;
+        }
+        // Wrap chunk: keys ≤ first id and keys > last id go to first.
+        let first = ids[0];
+        let last = *ids.last().unwrap();
+        let head_end = keys.partition_point(|&k| k <= first);
+        let tail_start = keys.partition_point(|&k| k <= last);
+        let first_node = self.map.get_mut(&first).unwrap();
+        // Tail (big keys) sort before head in ring order but after in
+        // integer order; keep the vector integer-sorted.
+        extend_sorted(&mut first_node.tasks, &keys[..head_end]);
+        extend_sorted(&mut first_node.tasks, &keys[tail_start..]);
+    }
+
+    /// Consumes one uniformly random task from the virtual node.
+    /// Returns `false` if the node is absent or idle.
+    pub fn pop_task(&mut self, id: Id) -> bool {
+        let Some(v) = self.map.get(&id) else {
+            return false;
+        };
+        let len = v.tasks.len();
+        if len == 0 {
+            return false;
+        }
+        let idx = self.next_pop_index(len);
+        self.map.get_mut(&id).unwrap().tasks.swap_remove(idx);
+        self.total_tasks -= 1;
+        true
+    }
+
+    /// The ring-order median of a virtual node's remaining task keys:
+    /// the key with half the node's tasks at or below it along the
+    /// clockwise arc from its predecessor. `None` when the node is
+    /// absent or idle. A Sybil planted *at* this key acquires half the
+    /// victim's remaining work exactly — the §VII chosen-ID extension.
+    pub fn median_task_key(&self, id: Id) -> Option<Id> {
+        let v = self.map.get(&id)?;
+        if v.tasks.is_empty() {
+            return None;
+        }
+        let pred = self.predecessor_of(id).unwrap_or(id);
+        let mut keys = v.tasks.clone();
+        let mid = keys.len() / 2;
+        keys.select_nth_unstable_by_key(mid, |k| k.wrapping_sub(pred));
+        Some(keys[mid])
+    }
+
+    /// Per-owner total loads, for snapshot assertions.
+    pub fn loads_by_owner(&self, workers: usize) -> Vec<u64> {
+        let mut out = vec![0u64; workers];
+        for v in self.map.values() {
+            out[v.owner] += v.tasks.len() as u64;
+        }
+        out
+    }
+
+    /// Verifies internal invariants (accurate total, keys within their
+    /// owner arcs). Test/debug helper; O(total tasks).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut counted = 0u64;
+        for (&id, v) in &self.map {
+            counted += v.tasks.len() as u64;
+            let pred = self.predecessor_of(id).unwrap_or(id);
+            for &k in &v.tasks {
+                if pred != id && !arc::in_arc(pred, id, k) {
+                    return Err(format!("key {k} at {id} outside arc ({pred}, {id}]"));
+                }
+            }
+        }
+        if counted != self.total_tasks {
+            return Err(format!(
+                "total_tasks {} but counted {}",
+                self.total_tasks, counted
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Merges two ascending-sorted vectors into one.
+fn merge_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Appends a sorted chunk to a sorted vector, merging when necessary.
+fn extend_sorted(dst: &mut Vec<Id>, chunk: &[Id]) {
+    if chunk.is_empty() {
+        return;
+    }
+    if dst.last().is_none_or(|&l| l <= chunk[0]) {
+        dst.extend_from_slice(chunk);
+    } else {
+        *dst = merge_sorted(dst, chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u128) -> Id {
+        Id::from(v)
+    }
+
+    fn ring_with(ids: &[u128]) -> Ring {
+        let mut r = Ring::new();
+        for (i, &v) in ids.iter().enumerate() {
+            r.insert_vnode(id(v), i).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn empty_ring_basics() {
+        let r = Ring::new();
+        assert!(r.is_empty());
+        assert_eq!(r.owner_of_key(id(5)), None);
+        assert_eq!(r.successor_of(id(5)), None);
+        assert_eq!(r.predecessor_of(id(5)), None);
+    }
+
+    #[test]
+    fn owner_of_key_wraps() {
+        let r = ring_with(&[100, 200, 300]);
+        assert_eq!(r.owner_of_key(id(150)), Some(id(200)));
+        assert_eq!(r.owner_of_key(id(200)), Some(id(200)));
+        assert_eq!(r.owner_of_key(id(301)), Some(id(100)));
+        assert_eq!(r.owner_of_key(id(50)), Some(id(100)));
+    }
+
+    #[test]
+    fn successor_predecessor_wrap() {
+        let r = ring_with(&[100, 200, 300]);
+        assert_eq!(r.successor_of(id(300)), Some(id(100)));
+        assert_eq!(r.predecessor_of(id(100)), Some(id(300)));
+        assert_eq!(r.successor_of(id(250)), Some(id(300)));
+        assert_eq!(r.predecessor_of(id(250)), Some(id(200)));
+    }
+
+    #[test]
+    fn successors_list_stops_at_wrap() {
+        let r = ring_with(&[100, 200, 300]);
+        assert_eq!(r.successors(id(100), 5), vec![id(200), id(300)]);
+        assert_eq!(r.predecessors(id(100), 5), vec![id(300), id(200)]);
+        assert_eq!(r.successors(id(100), 1), vec![id(200)]);
+    }
+
+    #[test]
+    fn assign_tasks_places_keys_in_arcs() {
+        let mut r = ring_with(&[100, 200, 300]);
+        r.assign_tasks(vec![id(150), id(250), id(50), id(350), id(200)]);
+        // (100,200] -> 150, 200 ; (200,300] -> 250 ; wrap (300,100] -> 50, 350.
+        assert_eq!(r.load(id(200)), 2);
+        assert_eq!(r.load(id(300)), 1);
+        assert_eq!(r.load(id(100)), 2);
+        assert_eq!(r.total_tasks(), 5);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_vnode_splits_successor() {
+        let mut r = ring_with(&[100, 300]);
+        r.assign_tasks(vec![id(150), id(250), id(280)]);
+        assert_eq!(r.load(id(300)), 3);
+        // New vnode at 260 takes keys in (100, 260] = {150, 250}.
+        let got = r.insert_vnode(id(260), 9).unwrap();
+        assert_eq!(got, 2);
+        assert_eq!(r.load(id(260)), 2);
+        assert_eq!(r.load(id(300)), 1);
+        assert_eq!(r.vnode(id(260)).unwrap().owner, 9);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_vnode_in_wrap_arc() {
+        let mut r = ring_with(&[100, 300]);
+        // Wrap arc (300, 100] holds 350 and 50.
+        r.assign_tasks(vec![id(350), id(50)]);
+        assert_eq!(r.load(id(100)), 2);
+        // Split at 400: takes (300, 400] = {350}.
+        let got = r.insert_vnode(id(400), 7).unwrap();
+        assert_eq!(got, 1);
+        assert_eq!(r.load(id(400)), 1);
+        assert_eq!(r.load(id(100)), 1);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_occupied_position_errors() {
+        let mut r = ring_with(&[100]);
+        assert_eq!(r.insert_vnode(id(100), 1), Err(RingError::Occupied(id(100))));
+    }
+
+    #[test]
+    fn remove_vnode_merges_into_successor() {
+        let mut r = ring_with(&[100, 200, 300]);
+        r.assign_tasks(vec![id(150), id(160), id(250)]);
+        let (owner, moved, succ) = r.remove_vnode(id(200)).unwrap();
+        assert_eq!(owner, 1);
+        assert_eq!(moved, 2);
+        assert_eq!(succ, id(300));
+        assert_eq!(r.load(id(300)), 3);
+        assert_eq!(r.total_tasks(), 3);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_vnode_merge_across_wrap() {
+        let mut r = ring_with(&[100, 300]);
+        r.assign_tasks(vec![id(350), id(50), id(250)]);
+        // Remove 300 (holds 250): merges into 100 across the wrap.
+        let (_, moved, succ) = r.remove_vnode(id(300)).unwrap();
+        assert_eq!(moved, 1);
+        assert_eq!(succ, id(100));
+        assert_eq!(r.load(id(100)), 3);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_unknown_and_last() {
+        let mut r = ring_with(&[100]);
+        assert_eq!(r.remove_vnode(id(5)), Err(RingError::Unknown(id(5))));
+        r.assign_tasks(vec![id(42)]);
+        assert_eq!(r.remove_vnode(id(100)), Err(RingError::LastVNode));
+        assert!(r.pop_task(id(100)));
+        let (_, moved, _) = r.remove_vnode(id(100)).unwrap();
+        assert_eq!(moved, 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn pop_task_consumes() {
+        let mut r = ring_with(&[100]);
+        r.assign_tasks(vec![id(1), id(2)]);
+        assert!(r.pop_task(id(100)));
+        assert_eq!(r.total_tasks(), 1);
+        assert!(r.pop_task(id(100)));
+        assert!(!r.pop_task(id(100)));
+        assert!(!r.pop_task(id(999)));
+        assert_eq!(r.total_tasks(), 0);
+    }
+
+    #[test]
+    fn loads_by_owner_sums_vnodes() {
+        let mut r = Ring::new();
+        r.insert_vnode(id(100), 0).unwrap();
+        r.insert_vnode(id(200), 1).unwrap();
+        r.insert_vnode(id(300), 0).unwrap(); // second vnode for worker 0
+        r.assign_tasks(vec![id(150), id(250), id(260), id(50)]);
+        let loads = r.loads_by_owner(2);
+        // worker0: vnode100 (wrap: 50) + vnode300 (250, 260) = 3.
+        assert_eq!(loads, vec![3, 1]);
+    }
+
+    #[test]
+    fn median_task_key_bisects_remaining_work() {
+        let mut r = ring_with(&[1000]);
+        r.assign_tasks((1..=9u128).map(|v| id(v * 100)).collect());
+        let m = r.median_task_key(id(1000)).unwrap();
+        // 9 keys 100..900; ring order from pred (=self, full ring) wraps,
+        // but all keys < 1000 so ring order = integer order: median 500.
+        assert_eq!(m, id(500));
+        // Splitting there gives the newcomer 5 tasks (100..=500).
+        let got = r.insert_vnode(m, 7).unwrap();
+        assert_eq!(got, 5);
+    }
+
+    #[test]
+    fn median_task_key_respects_ring_order_across_wrap() {
+        let mut r = ring_with(&[100, 300]);
+        // Wrap arc (300, 100]: keys 400, 500, 50 in ring order.
+        r.assign_tasks(vec![id(400), id(500), id(50)]);
+        let m = r.median_task_key(id(100)).unwrap();
+        assert_eq!(m, id(500), "ring-order median, not integer median");
+    }
+
+    #[test]
+    fn median_task_key_edge_cases() {
+        let mut r = ring_with(&[100]);
+        assert_eq!(r.median_task_key(id(100)), None, "idle node");
+        assert_eq!(r.median_task_key(id(999)), None, "absent node");
+        r.assign_tasks(vec![id(42)]);
+        assert_eq!(r.median_task_key(id(100)), Some(id(42)));
+    }
+
+    #[test]
+    fn merge_sorted_is_correct() {
+        let a = vec![id(1), id(5), id(9)];
+        let b = vec![id(2), id(5), id(10)];
+        let m = merge_sorted(&a, &b);
+        assert_eq!(m, vec![id(1), id(2), id(5), id(5), id(9), id(10)]);
+        assert_eq!(merge_sorted(&[], &a), a);
+        assert_eq!(merge_sorted(&a, &[]), a);
+    }
+
+    #[test]
+    fn insert_split_respects_consumed_state() {
+        // After consumption removes random keys, a later split still
+        // moves exactly the remaining keys of the new arc.
+        let mut r = ring_with(&[1000]);
+        r.assign_tasks((1..=10u128).map(|v| id(v * 10)).collect());
+        for _ in 0..3 {
+            assert!(r.pop_task(id(1000)));
+        }
+        let remaining_low = r
+            .vnode(id(1000))
+            .unwrap()
+            .tasks
+            .iter()
+            .filter(|&&k| k <= id(45))
+            .count() as u64;
+        let got = r.insert_vnode(id(45), 5).unwrap();
+        assert_eq!(got, remaining_low);
+        assert_eq!(r.load(id(45)) + r.load(id(1000)), 7);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pop_task_is_roughly_uniform_over_the_arc() {
+        // Consume half the tasks of one big arc; the survivors should
+        // not be concentrated at either end.
+        let mut r = ring_with(&[1_000_000]);
+        r.assign_tasks((1..=1000u128).map(|v| id(v * 100)).collect());
+        for _ in 0..500 {
+            assert!(r.pop_task(id(1_000_000)));
+        }
+        let survivors = &r.vnode(id(1_000_000)).unwrap().tasks;
+        let low = survivors.iter().filter(|&&k| k <= id(50_000)).count();
+        // Expect ≈ 250 below the midpoint; fail only on gross bias.
+        assert!((150..=350).contains(&low), "low-half survivors: {low}");
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn ring_error_display() {
+        let id = Id::from(5u64);
+        assert!(RingError::Occupied(id).to_string().contains("occupied"));
+        assert!(RingError::Unknown(id).to_string().contains("no virtual node"));
+        assert!(RingError::LastVNode.to_string().contains("last"));
+    }
+
+    #[test]
+    fn ring_errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RingError::LastVNode);
+    }
+
+    #[test]
+    fn default_ring_is_empty() {
+        let r = Ring::default();
+        assert!(r.is_empty());
+        assert_eq!(r.total_tasks(), 0);
+    }
+}

@@ -1,0 +1,815 @@
+//! The tick-driven simulation engine (§V "Simulation Setup").
+
+use crate::config::{Heterogeneity, SimConfig, StrategyKind, WorkMeasurement};
+use crate::metrics::{RunResult, SimMessageStats, Snapshot, TickSeries};
+use crate::trace::{EventLog, SimEvent};
+use crate::ring::{Ring, RingError};
+use crate::worker::{Worker, WorkerId, WorkerState};
+use autobal_id::Id;
+use autobal_stats::rng::{domains, substream, DetRng};
+use rand::Rng;
+
+/// One simulated network executing a distributed computation.
+///
+/// Construct with [`Sim::new`] (random SHA-1-style placement, as in the
+/// paper) or [`Sim::with_placement`] (explicit node ids and task keys,
+/// used for the evenly-spaced ring of Figure 3 and deterministic tests),
+/// then call [`Sim::run`] — or drive tick by tick with [`Sim::step`].
+pub struct Sim {
+    pub(crate) cfg: SimConfig,
+    pub(crate) ring: Ring,
+    pub(crate) workers: Vec<Worker>,
+    /// Worker ids currently parked in the churn waiting pool.
+    pub(crate) waiting: Vec<WorkerId>,
+    pub(crate) tick: u64,
+    pub(crate) msgs: SimMessageStats,
+    pub(crate) rng_churn: DetRng,
+    pub(crate) rng_strategy: DetRng,
+    active_count: usize,
+    work_history: Vec<u64>,
+    snapshots: Vec<Snapshot>,
+    peak_vnodes: usize,
+    series: TickSeries,
+    pub(crate) events: EventLog,
+}
+
+impl Sim {
+    /// Builds a network with `cfg.nodes` uniformly random node ids and
+    /// `cfg.tasks` uniformly random task keys (statistically identical
+    /// to the paper's "random numbers into SHA1" — see DESIGN.md).
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig, seed: u64) -> Sim {
+        let mut placement = substream(seed, 0, domains::PLACEMENT);
+        let mut tasks_rng = substream(seed, 0, domains::TASKS);
+        let node_ids = unique_random_ids(cfg.nodes, &mut placement);
+        let task_keys: Vec<Id> = (0..cfg.tasks).map(|_| Id::random(&mut tasks_rng)).collect();
+        Sim::with_placement(cfg, seed, node_ids, task_keys)
+    }
+
+    /// Builds a network from explicit node ids and task keys.
+    ///
+    /// # Panics
+    /// Panics on invalid config, duplicate node ids, or
+    /// `node_ids.len() != cfg.nodes`.
+    pub fn with_placement(cfg: SimConfig, seed: u64, node_ids: Vec<Id>, task_keys: Vec<Id>) -> Sim {
+        cfg.validate().expect("invalid SimConfig");
+        assert_eq!(
+            node_ids.len(),
+            cfg.nodes,
+            "node_ids length must equal cfg.nodes"
+        );
+        assert_eq!(
+            task_keys.len() as u64,
+            cfg.tasks,
+            "task_keys length must equal cfg.tasks"
+        );
+
+        let mut strength_rng = substream(seed, 0, domains::STRENGTH);
+        let heterogeneous = cfg.heterogeneity == Heterogeneity::Heterogeneous;
+        let draw_strength = |rng: &mut DetRng| -> u32 {
+            if heterogeneous {
+                rng.gen_range(1..=cfg.max_sybils.max(1))
+            } else {
+                1
+            }
+        };
+
+        let mut ring = Ring::new();
+        let mut workers = Vec::with_capacity(cfg.nodes * 2);
+        for id in node_ids {
+            let s = draw_strength(&mut strength_rng);
+            let widx = workers.len();
+            workers.push(Worker::active(id, s));
+            ring.insert_vnode(id, widx)
+                .expect("duplicate node id in placement");
+        }
+        // Classic static virtual servers (baseline comparator): extra
+        // ring positions per worker, placed before tasks land.
+        if cfg.virtual_nodes_per_worker > 1 {
+            let mut statics_rng = substream(seed, 0, domains::STATICS);
+            for (widx, w) in workers.iter_mut().enumerate() {
+                for _ in 1..cfg.virtual_nodes_per_worker {
+                    let pos = loop {
+                        let p = Id::random(&mut statics_rng);
+                        if !ring.contains(p) {
+                            break p;
+                        }
+                    };
+                    ring.insert_vnode(pos, widx).expect("fresh position");
+                    w.statics.push(pos);
+                }
+            }
+        }
+        ring.assign_tasks(task_keys);
+        let loads = ring.loads_by_owner(workers.len());
+        for (w, &l) in workers.iter_mut().zip(&loads) {
+            w.load = l;
+        }
+
+        // The churn waiting pool "begins at the same initial size as the
+        // network" (§IV-A); it only matters when churn is possible.
+        let mut waiting = Vec::new();
+        if cfg.churn_enabled() {
+            for _ in 0..cfg.nodes {
+                let s = draw_strength(&mut strength_rng);
+                waiting.push(workers.len());
+                workers.push(Worker::waiting(s));
+            }
+        }
+
+        let active_count = cfg.nodes;
+        let peak = ring.len();
+        let cfg_record_events = cfg.record_events;
+        Sim {
+            cfg,
+            ring,
+            workers,
+            waiting,
+            tick: 0,
+            msgs: SimMessageStats::default(),
+            rng_churn: substream(seed, 0, domains::CHURN),
+            rng_strategy: substream(seed, 0, domains::STRATEGY),
+            active_count,
+            work_history: Vec::new(),
+            snapshots: Vec::new(),
+            peak_vnodes: peak,
+            series: TickSeries::default(),
+            events: EventLog::new(cfg_record_events),
+        }
+    }
+
+    /// Current tick (0 before the first step).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Tasks still unconsumed.
+    pub fn remaining_tasks(&self) -> u64 {
+        self.ring.total_tasks()
+    }
+
+    /// Number of active (ring-participating) workers.
+    pub fn active_workers(&self) -> usize {
+        self.active_count
+    }
+
+    /// Read-only view of the ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Read-only worker table.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Message counters so far.
+    pub fn messages(&self) -> SimMessageStats {
+        self.msgs
+    }
+
+    /// Per-active-worker loads (the quantity the paper's histograms bin).
+    pub fn active_loads(&self) -> Vec<u64> {
+        self.workers
+            .iter()
+            .filter(|w| w.is_active())
+            .map(|w| w.load)
+            .collect()
+    }
+
+    /// Captures a snapshot of the current workload distribution.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_loads(self.tick, self.active_loads(), self.ring.len())
+    }
+
+    /// Advances the simulation one tick: strategy actions, then work.
+    /// Returns the number of tasks consumed this tick.
+    pub fn step(&mut self) -> u64 {
+        self.tick += 1;
+
+        // 1. Churn happens every tick whenever a rate is configured —
+        //    as the Churn strategy itself, or as background turbulence
+        //    under another strategy (§VI-B-1).
+        if self.cfg.churn_enabled() {
+            self.churn_tick();
+        }
+        // 2. Sybil strategies check every `check_interval` ticks.
+        if self.tick.is_multiple_of(self.cfg.check_interval) {
+            match self.cfg.strategy {
+                StrategyKind::None | StrategyKind::Churn => {}
+                StrategyKind::RandomInjection => crate::strategy::random::act(self),
+                StrategyKind::NeighborInjection => crate::strategy::neighbor::act(self, false),
+                StrategyKind::SmartNeighbor => crate::strategy::neighbor::act(self, true),
+                StrategyKind::Invitation => crate::strategy::invitation::act(self),
+                StrategyKind::CentralizedOracle => crate::strategy::oracle::act(self),
+            }
+        }
+
+        // 3. Every active worker consumes up to its capacity.
+        let strength_based = self.cfg.work_measurement == WorkMeasurement::StrengthPerTick;
+        let mut consumed = 0u64;
+        for idx in 0..self.workers.len() {
+            if !self.workers[idx].is_active() {
+                continue;
+            }
+            let mut cap = self.workers[idx].capacity(strength_based);
+            if cap == 0 || self.workers[idx].load == 0 {
+                continue;
+            }
+            // Drain primary first, then Sybils.
+            let vnodes: Vec<Id> = self.workers[idx].vnodes().collect();
+            'outer: for v in vnodes {
+                while cap > 0 && self.ring.pop_task(v) {
+                    cap -= 1;
+                    consumed += 1;
+                    self.workers[idx].load -= 1;
+                    if self.workers[idx].load == 0 {
+                        break 'outer;
+                    }
+                }
+                if cap == 0 {
+                    break;
+                }
+            }
+        }
+        self.work_history.push(consumed);
+        self.peak_vnodes = self.peak_vnodes.max(self.ring.len());
+        consumed
+    }
+
+    /// Records one time-series sample at the current tick.
+    fn sample_series(&mut self) {
+        let loads = self.active_loads();
+        self.series.ticks.push(self.tick);
+        self.series.active_workers.push(self.active_count);
+        self.series.vnodes.push(self.ring.len());
+        self.series.remaining.push(self.ring.total_tasks());
+        self.series.gini.push(autobal_stats::gini(&loads));
+        self.series
+            .idle
+            .push(loads.iter().filter(|&&l| l == 0).count());
+    }
+
+    /// Runs to completion (or the tick cap) and returns the result.
+    pub fn run(mut self) -> RunResult {
+        let snapshot_ticks: Vec<u64> = {
+            let mut t = self.cfg.snapshot_ticks.clone();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        if snapshot_ticks.contains(&0) {
+            let s = self.snapshot();
+            self.snapshots.push(s);
+        }
+        let series_every = self.cfg.series_interval;
+        if series_every.is_some() {
+            self.sample_series();
+        }
+        let cap = self.cfg.effective_max_ticks();
+        while self.ring.total_tasks() > 0 && self.tick < cap {
+            self.step();
+            if snapshot_ticks.binary_search(&self.tick).is_ok() {
+                let s = self.snapshot();
+                self.snapshots.push(s);
+            }
+            if let Some(k) = series_every {
+                if self.tick.is_multiple_of(k) || self.ring.total_tasks() == 0 {
+                    self.sample_series();
+                }
+            }
+        }
+        let completed = self.ring.total_tasks() == 0;
+        let ideal = self.cfg.ideal_ticks().max(1);
+        RunResult {
+            ticks: self.tick,
+            ideal_ticks: ideal,
+            runtime_factor: self.tick as f64 / ideal as f64,
+            completed,
+            work_per_tick: self.work_history,
+            snapshots: self.snapshots,
+            messages: self.msgs,
+            peak_vnodes: self.peak_vnodes,
+            final_active_workers: self.active_count,
+            series: self.series,
+            events: self.events,
+        }
+    }
+
+    // ---- churn ----------------------------------------------------
+
+    /// One tick of churn: active nodes leave with probability
+    /// `churn_rate`, waiting nodes join with the same probability
+    /// (§IV-A).
+    fn churn_tick(&mut self) {
+        let leave_p = self.cfg.leave_probability();
+        let join_p = self.cfg.join_probability();
+        // Leaves.
+        let candidates: Vec<WorkerId> = (0..self.workers.len())
+            .filter(|&i| self.workers[i].is_active())
+            .collect();
+        for idx in candidates {
+            if self.active_count <= 1 {
+                break;
+            }
+            if self.rng_churn.gen::<f64>() <= leave_p {
+                self.worker_leave(idx);
+            }
+        }
+        // Joins.
+        let mut still_waiting = Vec::with_capacity(self.waiting.len());
+        let waiting = std::mem::take(&mut self.waiting);
+        for idx in waiting {
+            if self.rng_churn.gen::<f64>() <= join_p {
+                self.worker_join(idx);
+            } else {
+                still_waiting.push(idx);
+            }
+        }
+        self.waiting = still_waiting;
+    }
+
+    /// A worker leaves the network: every virtual node it controls is
+    /// removed (tasks merge into successors), and it enters the waiting
+    /// pool.
+    pub(crate) fn worker_leave(&mut self, idx: WorkerId) {
+        debug_assert!(self.workers[idx].is_active());
+        let sybils = std::mem::take(&mut self.workers[idx].sybils);
+        for s in sybils {
+            let _ = self.remove_vnode_tracked(s);
+        }
+        let statics = std::mem::take(&mut self.workers[idx].statics);
+        for s in statics {
+            let _ = self.remove_vnode_tracked(s);
+        }
+        let primary = self.workers[idx].primary;
+        let _ = self.remove_vnode_tracked(primary);
+        self.workers[idx].state = WorkerState::Waiting;
+        debug_assert_eq!(self.workers[idx].load, 0);
+        self.workers[idx].load = 0;
+        self.active_count -= 1;
+        self.waiting.push(idx);
+        self.msgs.churn_leaves += 1;
+        let tick = self.tick;
+        self.events.push(SimEvent::WorkerLeft { tick, worker: idx });
+    }
+
+    /// A waiting worker joins at a fresh random position, immediately
+    /// acquiring the tasks of its new arc ("a node joining … can be a
+    /// potential boon … immediately acquire work", §IV-A).
+    pub(crate) fn worker_join(&mut self, idx: WorkerId) {
+        debug_assert!(!self.workers[idx].is_active());
+        self.workers[idx].state = WorkerState::Active;
+        self.workers[idx].load = 0;
+        let pos = loop {
+            let p = Id::random(&mut self.rng_churn);
+            if !self.ring.contains(p) {
+                break p;
+            }
+        };
+        self.insert_vnode_tracked(pos, idx).expect("fresh position");
+        self.workers[idx].primary = pos;
+        // A rejoining worker re-creates its static virtual servers.
+        for _ in 1..self.cfg.virtual_nodes_per_worker {
+            let pos = loop {
+                let p = Id::random(&mut self.rng_churn);
+                if !self.ring.contains(p) {
+                    break p;
+                }
+            };
+            self.insert_vnode_tracked(pos, idx).expect("fresh position");
+            self.workers[idx].statics.push(pos);
+        }
+        self.active_count += 1;
+        self.msgs.churn_joins += 1;
+        let tick = self.tick;
+        let pos = self.workers[idx].primary;
+        let acquired = self.workers[idx].load;
+        self.events.push(SimEvent::WorkerJoined {
+            tick,
+            worker: idx,
+            pos,
+            acquired,
+        });
+    }
+
+    // ---- tracked ring mutations ------------------------------------
+
+    /// Inserts a virtual node and keeps worker load caches consistent.
+    /// Returns the number of tasks acquired. The caller must add the
+    /// acquired count to the owner's cache *if the owner already has
+    /// other vnodes* — for simplicity this helper credits the owner
+    /// directly and debits the victim.
+    pub(crate) fn insert_vnode_tracked(
+        &mut self,
+        pos: Id,
+        owner: WorkerId,
+    ) -> Result<u64, RingError> {
+        let acquired = self.ring.insert_vnode(pos, owner)?;
+        if acquired > 0 {
+            let victim_vnode = self.ring.successor_of(pos).expect("successor after split");
+            let victim_owner = self.ring.vnode(victim_vnode).expect("vnode").owner;
+            self.workers[victim_owner].load -= acquired;
+            self.workers[owner].load += acquired;
+        }
+        Ok(acquired)
+    }
+
+    /// Removes a virtual node, updating both owners' load caches.
+    pub(crate) fn remove_vnode_tracked(&mut self, pos: Id) -> Result<u64, RingError> {
+        let (owner, moved, succ) = self.ring.remove_vnode(pos)?;
+        if moved > 0 {
+            let succ_owner = self.ring.vnode(succ).expect("successor").owner;
+            self.workers[owner].load -= moved;
+            self.workers[succ_owner].load += moved;
+        }
+        Ok(moved)
+    }
+
+    /// Creates a Sybil for `owner` at `pos`. Returns acquired task count,
+    /// or `None` if the position is occupied.
+    pub(crate) fn create_sybil(&mut self, owner: WorkerId, pos: Id) -> Option<u64> {
+        match self.insert_vnode_tracked(pos, owner) {
+            Ok(acquired) => {
+                self.workers[owner].sybils.push(pos);
+                self.msgs.sybils_created += 1;
+                let tick = self.tick;
+                self.events.push(SimEvent::SybilCreated {
+                    tick,
+                    worker: owner,
+                    pos,
+                    acquired,
+                });
+                Some(acquired)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// All of `owner`'s Sybils quit the network (§IV-B: "If a node has at
+    /// least one Sybil, but no work, it has its Sybils quit").
+    pub(crate) fn retire_sybils(&mut self, owner: WorkerId) {
+        let sybils = std::mem::take(&mut self.workers[owner].sybils);
+        let n = sybils.len() as u64;
+        for s in sybils {
+            let _ = self.remove_vnode_tracked(s);
+        }
+        self.msgs.sybils_retired += n;
+        if n > 0 {
+            let tick = self.tick;
+            self.events.push(SimEvent::SybilsRetired {
+                tick,
+                worker: owner,
+                count: n as u32,
+            });
+        }
+    }
+
+    /// Debug helper: verify load caches against the ring (O(vnodes)).
+    #[cfg(test)]
+    pub(crate) fn assert_load_caches(&self) {
+        let truth = self.ring.loads_by_owner(self.workers.len());
+        for (i, w) in self.workers.iter().enumerate() {
+            assert_eq!(w.load, truth[i], "load cache of worker {i}");
+        }
+    }
+}
+
+/// Draws `n` distinct random ids.
+fn unique_random_ids(n: usize, rng: &mut DetRng) -> Vec<Id> {
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let id = Id::random(rng);
+        if seen.insert(id) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(strategy: StrategyKind) -> SimConfig {
+        SimConfig {
+            nodes: 50,
+            tasks: 2_000,
+            strategy,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_conserves_and_completes() {
+        let sim = Sim::new(small_cfg(StrategyKind::None), 1);
+        assert_eq!(sim.remaining_tasks(), 2_000);
+        let res = sim.run();
+        assert!(res.completed);
+        assert_eq!(res.work_per_tick.iter().sum::<u64>(), 2_000);
+        // The run takes exactly max-initial-load ticks.
+        assert!(res.ticks >= res.ideal_ticks);
+    }
+
+    #[test]
+    fn baseline_runtime_equals_max_initial_load() {
+        let sim = Sim::new(small_cfg(StrategyKind::None), 2);
+        let max_load = sim.active_loads().into_iter().max().unwrap();
+        let res = sim.run();
+        assert_eq!(res.ticks, max_load);
+    }
+
+    #[test]
+    fn work_per_tick_never_exceeds_capacity() {
+        let sim = Sim::new(small_cfg(StrategyKind::None), 3);
+        let busy_at_start = sim.active_loads().iter().filter(|&&l| l > 0).count() as u64;
+        let res = sim.run();
+        assert!(res.work_per_tick.iter().all(|&w| w <= 50));
+        // First tick: every node that has work consumes exactly one task
+        // (a few arcs may start empty — exponential spacings).
+        assert_eq!(res.work_per_tick[0], busy_at_start);
+    }
+
+    #[test]
+    fn snapshots_are_captured_at_requested_ticks() {
+        let mut cfg = small_cfg(StrategyKind::None);
+        cfg.snapshot_ticks = vec![0, 5, 10];
+        let res = Sim::new(cfg, 4).run();
+        assert_eq!(res.snapshots.len(), 3);
+        assert_eq!(res.snapshots[0].tick, 0);
+        assert_eq!(res.snapshots[1].tick, 5);
+        assert_eq!(res.snapshots[2].tick, 10);
+        assert_eq!(res.snapshots[0].loads.len(), 50);
+        assert_eq!(res.snapshots[0].loads.iter().sum::<u64>(), 2_000);
+    }
+
+    #[test]
+    fn churn_keeps_tasks_conserved() {
+        let mut cfg = small_cfg(StrategyKind::Churn);
+        cfg.churn_rate = 0.05;
+        let mut sim = Sim::new(cfg, 5);
+        for _ in 0..20 {
+            sim.step();
+            sim.ring.check_invariants().unwrap();
+            sim.assert_load_caches();
+        }
+        let consumed: u64 = sim.work_history.iter().sum();
+        assert_eq!(sim.remaining_tasks() + consumed, 2_000);
+        assert!(sim.messages().churn_leaves > 0 || sim.messages().churn_joins > 0);
+    }
+
+    #[test]
+    fn churn_speeds_up_the_run() {
+        // The paper's central hypothesis: churn load-balances. Compare
+        // factors on the same placement seed.
+        let base = Sim::new(small_cfg(StrategyKind::Churn), 6).run();
+        let mut cfg = small_cfg(StrategyKind::Churn);
+        cfg.churn_rate = 0.02;
+        let churned = Sim::new(cfg, 6).run();
+        assert!(churned.completed);
+        assert!(
+            churned.runtime_factor < base.runtime_factor,
+            "churned {} vs base {}",
+            churned.runtime_factor,
+            base.runtime_factor
+        );
+    }
+
+    #[test]
+    fn churn_never_empties_network() {
+        let mut cfg = small_cfg(StrategyKind::Churn);
+        cfg.nodes = 2;
+        cfg.tasks = 100;
+        cfg.churn_rate = 0.9;
+        let res = Sim::new(cfg, 7).run();
+        assert!(res.completed);
+        assert!(res.final_active_workers >= 1);
+    }
+
+    #[test]
+    fn with_placement_is_deterministic() {
+        let ids: Vec<Id> = (1..=10u64).map(|v| Id::from(v * 1000)).collect();
+        let keys: Vec<Id> = (0..200u64).map(|v| Id::from(v * 53 + 7)).collect();
+        let mut cfg = small_cfg(StrategyKind::None);
+        cfg.nodes = 10;
+        cfg.tasks = 200;
+        let a = Sim::with_placement(cfg.clone(), 8, ids.clone(), keys.clone()).run();
+        let b = Sim::with_placement(cfg, 8, ids, keys).run();
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.work_per_tick, b.work_per_tick);
+    }
+
+    #[test]
+    #[should_panic(expected = "node_ids length")]
+    fn with_placement_checks_node_count() {
+        let cfg = small_cfg(StrategyKind::None);
+        let _ = Sim::with_placement(cfg, 0, vec![Id::from(1u64)], vec![]);
+    }
+
+    #[test]
+    fn strength_based_consumption_uses_strength() {
+        let mut cfg = small_cfg(StrategyKind::None);
+        cfg.heterogeneity = Heterogeneity::Heterogeneous;
+        cfg.work_measurement = WorkMeasurement::StrengthPerTick;
+        cfg.max_sybils = 5;
+        let sim = Sim::new(cfg, 9);
+        let total_strength: u64 = sim
+            .workers()
+            .iter()
+            .filter(|w| w.is_active())
+            .map(|w| w.strength as u64)
+            .sum();
+        assert!(total_strength > 50, "het strengths should exceed n");
+        let res = sim.run();
+        // First tick consumes ≤ total strength but ≥ active workers with work.
+        assert!(res.work_per_tick[0] <= total_strength);
+        assert!(res.completed);
+    }
+
+    #[test]
+    fn same_seed_same_result_full_run() {
+        let mut cfg = small_cfg(StrategyKind::RandomInjection);
+        cfg.churn_rate = 0.01;
+        let a = Sim::new(cfg.clone(), 10).run();
+        let b = Sim::new(cfg, 10).run();
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn tick_counter_advances() {
+        let mut sim = Sim::new(small_cfg(StrategyKind::None), 11);
+        assert_eq!(sim.tick(), 0);
+        sim.step();
+        assert_eq!(sim.tick(), 1);
+    }
+}
+
+#[cfg(test)]
+mod series_tests {
+    use super::*;
+
+    #[test]
+    fn series_disabled_by_default() {
+        let cfg = SimConfig {
+            nodes: 20,
+            tasks: 500,
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 1).run();
+        assert!(res.series.is_empty());
+    }
+
+    #[test]
+    fn series_samples_at_interval_and_end() {
+        let cfg = SimConfig {
+            nodes: 20,
+            tasks: 500,
+            series_interval: Some(10),
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 2).run();
+        let s = &res.series;
+        assert!(!s.is_empty());
+        assert_eq!(s.ticks[0], 0);
+        assert_eq!(*s.ticks.last().unwrap(), res.ticks);
+        // All columns aligned.
+        assert_eq!(s.ticks.len(), s.gini.len());
+        assert_eq!(s.ticks.len(), s.vnodes.len());
+        assert_eq!(s.ticks.len(), s.remaining.len());
+        assert_eq!(s.ticks.len(), s.active_workers.len());
+        assert_eq!(s.ticks.len(), s.idle.len());
+        // Remaining tasks are non-increasing and end at zero.
+        assert!(s.remaining.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(*s.remaining.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn series_gini_lower_with_random_injection_than_none() {
+        let mk = |strategy| SimConfig {
+            nodes: 100,
+            tasks: 10_000,
+            strategy,
+            series_interval: Some(5),
+            ..SimConfig::default()
+        };
+        // Same placement seed, different strategies.
+        let none = Sim::new(mk(StrategyKind::None), 3).run();
+        let random = Sim::new(mk(StrategyKind::RandomInjection), 3).run();
+        // Compare at sample index 8 (tick 40), well into the run but
+        // long before either finishes.
+        let idx = 8;
+        assert!(none.series.len() > idx && random.series.len() > idx);
+        assert_eq!(none.series.ticks[idx], random.series.ticks[idx]);
+        assert!(
+            random.series.gini[idx] < none.series.gini[idx],
+            "random gini {} vs none {}",
+            random.series.gini[idx],
+            none.series.gini[idx]
+        );
+        // Sanity: gini always within [0, 1).
+        for &g in none.series.gini.iter().chain(random.series.gini.iter()) {
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::SimEvent;
+
+    #[test]
+    fn events_disabled_by_default() {
+        let cfg = SimConfig {
+            nodes: 30,
+            tasks: 1_000,
+            strategy: StrategyKind::RandomInjection,
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 1).run();
+        assert!(res.events.is_empty());
+        assert!(res.messages.sybils_created > 0, "actions happened anyway");
+    }
+
+    #[test]
+    fn event_log_mirrors_message_counters() {
+        let cfg = SimConfig {
+            nodes: 50,
+            tasks: 2_000,
+            strategy: StrategyKind::RandomInjection,
+            record_events: true,
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 2).run();
+        let created = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::SybilCreated { .. }))
+            .count() as u64;
+        assert_eq!(created, res.messages.sybils_created);
+        let retired: u64 = res
+            .events
+            .events()
+            .iter()
+            .map(|e| match e {
+                SimEvent::SybilsRetired { count, .. } => *count as u64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(retired, res.messages.sybils_retired);
+        // Ticks are monotone.
+        let ticks: Vec<u64> = res.events.events().iter().map(|e| e.tick()).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn churn_events_track_leaves_and_joins() {
+        let cfg = SimConfig {
+            nodes: 40,
+            tasks: 2_000,
+            strategy: StrategyKind::Churn,
+            churn_rate: 0.02,
+            record_events: true,
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 3).run();
+        let left = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::WorkerLeft { .. }))
+            .count() as u64;
+        let joined = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::WorkerJoined { .. }))
+            .count() as u64;
+        assert_eq!(left, res.messages.churn_leaves);
+        assert_eq!(joined, res.messages.churn_joins);
+    }
+
+    #[test]
+    fn invitation_events_recorded() {
+        let cfg = SimConfig {
+            nodes: 60,
+            tasks: 6_000,
+            strategy: StrategyKind::Invitation,
+            record_events: true,
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 4).run();
+        let sent = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::InvitationSent { .. }))
+            .count() as u64;
+        assert_eq!(sent, res.messages.invitations_sent);
+    }
+}

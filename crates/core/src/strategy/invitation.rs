@@ -1,0 +1,201 @@
+//! §IV-D *Invitation* — the reactive strategy.
+//!
+//! Rather than idle nodes hunting for work (proactive), nodes that find
+//! themselves **overburdened** announce for help to their predecessor
+//! list. The predecessor with the least work — provided it is at or
+//! below the `sybilThreshold` and has Sybil budget left — injects a
+//! Sybil into the inviter's range, taking roughly half of its remaining
+//! tasks. Invitations are refused when no predecessor qualifies.
+//!
+//! Overburdened: load > `overload_factor × tasks/nodes`. The paper says
+//! nodes decide "using the sybilThreshold parameter" without a formula;
+//! since nodes know the job size (§V), the ideal mean is locally
+//! computable — see DESIGN.md for this substitution.
+
+use crate::sim::Sim;
+use crate::worker::WorkerId;
+
+/// Runs one invitation round over all workers.
+pub(crate) fn act(sim: &mut Sim) {
+    let overload = sim.cfg.overload_threshold();
+    let k = sim.cfg.num_successors;
+    for idx in 0..sim.workers.len() {
+        if !sim.workers[idx].is_active() {
+            continue;
+        }
+        if sim.workers[idx].load <= overload {
+            continue;
+        }
+        // The inviter's hottest virtual node is where help is needed.
+        let hot = match sim.workers[idx]
+            .vnodes()
+            .max_by_key(|&v| sim.ring.load(v))
+        {
+            Some(v) if sim.ring.load(v) > 0 => v,
+            _ => continue,
+        };
+        let preds = sim.ring.predecessors(hot, k);
+        if preds.is_empty() {
+            continue;
+        }
+        sim.msgs.invitations_sent += 1;
+        let tick = sim.tick();
+        sim.events
+            .push(crate::trace::SimEvent::InvitationSent { tick, worker: idx });
+        match pick_helper(sim, idx, &preds) {
+            Some(helper) => {
+                let pos = super::split_position(sim, hot).expect("ring non-trivial");
+                if sim.create_sybil(helper, pos).is_none() {
+                    sim.msgs.invitations_refused += 1;
+                    sim.events.push(crate::trace::SimEvent::InvitationRefused {
+                        tick,
+                        worker: idx,
+                    });
+                }
+            }
+            None => {
+                sim.msgs.invitations_refused += 1;
+                sim.events.push(crate::trace::SimEvent::InvitationRefused {
+                    tick,
+                    worker: idx,
+                });
+            }
+        }
+    }
+}
+
+/// Selects the helping predecessor among eligible workers (load ≤
+/// sybilThreshold, budget remaining, not the inviter). The paper's rule
+/// is least-loaded-first; the §VII strength-aware extension prefers the
+/// *strongest* eligible helper (ties broken by least load) so work
+/// migrates toward capable machines.
+fn pick_helper(sim: &Sim, inviter: WorkerId, preds: &[autobal_id::Id]) -> Option<WorkerId> {
+    let strength_first = sim.cfg.strength_aware_invitation;
+    let mut best: Option<(WorkerId, u32, u64)> = None;
+    for &p in preds {
+        let owner = sim.ring.vnode(p)?.owner;
+        if owner == inviter {
+            continue;
+        }
+        if !super::can_spawn_sybil(sim, owner) {
+            continue;
+        }
+        let load = sim.workers[owner].load;
+        let strength = sim.workers[owner].strength;
+        let better = match best {
+            None => true,
+            Some((_, bs, bl)) => {
+                if strength_first {
+                    strength > bs || (strength == bs && load < bl)
+                } else {
+                    load < bl
+                }
+            }
+        };
+        if better {
+            best = Some((owner, strength, load));
+        }
+    }
+    best.map(|(w, _, _)| w)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{SimConfig, StrategyKind};
+    use crate::sim::Sim;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            nodes: 100,
+            tasks: 10_000,
+            strategy: StrategyKind::Invitation,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn invitations_fire_and_help() {
+        let res = Sim::new(cfg(), 1).run();
+        assert!(res.completed);
+        assert!(res.messages.invitations_sent > 0);
+        assert!(res.messages.sybils_created > 0);
+    }
+
+    #[test]
+    fn beats_baseline() {
+        let base = Sim::new(
+            SimConfig {
+                strategy: StrategyKind::None,
+                ..cfg()
+            },
+            2,
+        )
+        .run();
+        let inv = Sim::new(cfg(), 2).run();
+        assert!(
+            inv.runtime_factor < base.runtime_factor,
+            "invitation {} vs baseline {}",
+            inv.runtime_factor,
+            base.runtime_factor
+        );
+    }
+
+    #[test]
+    fn reactive_messaging_is_lighter_than_smart_neighbor() {
+        // §VI-D: invitation "uses less bandwidth" than the proactive
+        // query strategies.
+        let inv = Sim::new(cfg(), 3).run();
+        let smart = Sim::new(
+            SimConfig {
+                strategy: StrategyKind::SmartNeighbor,
+                ..cfg()
+            },
+            3,
+        )
+        .run();
+        let inv_msgs = inv.messages.invitations_sent + inv.messages.load_queries;
+        let smart_msgs = smart.messages.invitations_sent + smart.messages.load_queries;
+        assert!(
+            inv_msgs < smart_msgs,
+            "invitation messages {inv_msgs} vs smart neighbor {smart_msgs}"
+        );
+    }
+
+    #[test]
+    fn refusals_counted_when_helpers_are_busy() {
+        // With a sky-high overload factor nothing is overburdened ⇒ no
+        // invitations at all; with factor near zero everyone invites and
+        // busy helpers refuse.
+        let quiet = Sim::new(
+            SimConfig {
+                overload_factor: 1e9,
+                ..cfg()
+            },
+            4,
+        )
+        .run();
+        assert_eq!(quiet.messages.invitations_sent, 0);
+
+        let noisy = Sim::new(
+            SimConfig {
+                overload_factor: 0.1,
+                ..cfg()
+            },
+            4,
+        )
+        .run();
+        assert!(noisy.messages.invitations_sent > 0);
+        assert!(noisy.messages.invitations_refused > 0);
+    }
+
+    #[test]
+    fn tasks_conserved() {
+        let mut sim = Sim::new(cfg(), 5);
+        let mut consumed = 0;
+        for _ in 0..60 {
+            consumed += sim.step();
+        }
+        assert_eq!(sim.remaining_tasks() + consumed, 10_000);
+        sim.ring().check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,168 @@
+//! Structured event log — a postmortem record of every load-balancing
+//! action a run took (enabled by `SimConfig::record_events`).
+//!
+//! The paper's analysis is aggregate (runtime factors, histograms); the
+//! event log supports the per-decision questions those aggregates hide:
+//! *which* nodes created Sybils, how much work each acquisition moved,
+//! how often invitations bounced.
+
+use crate::worker::WorkerId;
+use autobal_id::Id;
+
+/// One load-balancing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SimEvent {
+    /// A worker planted a Sybil and acquired `acquired` tasks.
+    SybilCreated {
+        tick: u64,
+        worker: WorkerId,
+        pos: Id,
+        acquired: u64,
+    },
+    /// A worker's idle Sybils quit the ring.
+    SybilsRetired {
+        tick: u64,
+        worker: WorkerId,
+        count: u32,
+    },
+    /// A worker left via churn; its tasks moved to successors.
+    WorkerLeft { tick: u64, worker: WorkerId },
+    /// A waiting worker joined at `pos`, acquiring `acquired` tasks.
+    WorkerJoined {
+        tick: u64,
+        worker: WorkerId,
+        pos: Id,
+        acquired: u64,
+    },
+    /// An overloaded worker asked its predecessors for help.
+    InvitationSent { tick: u64, worker: WorkerId },
+    /// No predecessor could honor the invitation.
+    InvitationRefused { tick: u64, worker: WorkerId },
+}
+
+impl SimEvent {
+    /// The tick the event occurred at.
+    pub fn tick(&self) -> u64 {
+        match self {
+            SimEvent::SybilCreated { tick, .. }
+            | SimEvent::SybilsRetired { tick, .. }
+            | SimEvent::WorkerLeft { tick, .. }
+            | SimEvent::WorkerJoined { tick, .. }
+            | SimEvent::InvitationSent { tick, .. }
+            | SimEvent::InvitationRefused { tick, .. } => *tick,
+        }
+    }
+
+    /// The worker that acted (or was acted upon).
+    pub fn worker(&self) -> WorkerId {
+        match self {
+            SimEvent::SybilCreated { worker, .. }
+            | SimEvent::SybilsRetired { worker, .. }
+            | SimEvent::WorkerLeft { worker, .. }
+            | SimEvent::WorkerJoined { worker, .. }
+            | SimEvent::InvitationSent { worker, .. }
+            | SimEvent::InvitationRefused { worker, .. } => *worker,
+        }
+    }
+}
+
+/// An append-only event log that is free when disabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<SimEvent>,
+}
+
+impl EventLog {
+    pub fn new(enabled: bool) -> EventLog {
+        EventLog {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records an event (no-op when disabled).
+    #[inline]
+    pub fn push(&mut self, event: SimEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one worker, in order.
+    pub fn for_worker(&self, worker: WorkerId) -> impl Iterator<Item = &SimEvent> {
+        self.events.iter().filter(move |e| e.worker() == worker)
+    }
+
+    /// Total tasks moved by Sybil acquisitions.
+    pub fn tasks_acquired_by_sybils(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                SimEvent::SybilCreated { acquired, .. } => *acquired,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64, worker: WorkerId) -> SimEvent {
+        SimEvent::SybilCreated {
+            tick,
+            worker,
+            pos: Id::from(42u64),
+            acquired: 3,
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::new(false);
+        log.push(ev(1, 0));
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = EventLog::new(true);
+        log.push(ev(1, 0));
+        log.push(SimEvent::WorkerLeft { tick: 2, worker: 1 });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].tick(), 1);
+        assert_eq!(log.events()[1].tick(), 2);
+        assert_eq!(log.events()[1].worker(), 1);
+    }
+
+    #[test]
+    fn per_worker_filter_and_acquisition_sum() {
+        let mut log = EventLog::new(true);
+        log.push(ev(1, 0));
+        log.push(ev(2, 1));
+        log.push(ev(3, 0));
+        assert_eq!(log.for_worker(0).count(), 2);
+        assert_eq!(log.tasks_acquired_by_sybils(), 9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared plumbing for the experiment drivers.
+
+use autobal_core::{RunResult, SimConfig};
+use autobal_stats::Histogram;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Experiments to run (lowercase ids); empty = all.
+    pub targets: Vec<String>,
+    /// Trials per cell (paper: 100; quick default: 5).
+    pub trials: u64,
+    /// Output directory.
+    pub out: PathBuf,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Args {
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            targets: Vec::new(),
+            trials: 5,
+            out: PathBuf::from("results"),
+            seed: 0xA0B1_C2D3,
+        };
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.trials = 5,
+                "--full" => args.trials = 100,
+                "--trials" => {
+                    args.trials = it
+                        .next()
+                        .ok_or("--trials needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --trials: {e}"))?;
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?;
+                }
+                "--out" => {
+                    args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other}"));
+                }
+                target => args.targets.push(target.to_ascii_lowercase()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Should this experiment id run?
+    pub fn wants(&self, id: &str) -> bool {
+        self.targets.is_empty()
+            || self.targets.iter().any(|t| t == id || t == "all")
+    }
+}
+
+/// Writes a file under the output directory, creating parents.
+pub fn write_out(dir: &Path, name: &str, contents: &str) {
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+}
+
+/// Builds fixed-edge histogram rows over worker loads so multiple
+/// networks share bins. Bin width is derived from the larger of the two
+/// max loads, aiming at ~26 bins like the paper's figures.
+pub fn aligned_histograms(series: &[&[u64]]) -> Vec<Vec<(u64, u64, u64)>> {
+    let max = series
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let width = (max / 25).max(1);
+    let bins = (max / width + 1) as usize;
+    series
+        .iter()
+        .map(|s| Histogram::build(s, 0, width, bins).rows())
+        .collect()
+}
+
+/// Runs one simulation with snapshots, returning the result (helper for
+/// the figure experiments, which need one run rather than a batch).
+pub fn run_with_snapshots(mut cfg: SimConfig, seed: u64, ticks: &[u64]) -> RunResult {
+    cfg.snapshot_ticks = ticks.to_vec();
+    autobal_core::Sim::new(cfg, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let a = Args::parse(&[]).unwrap();
+        assert_eq!(a.trials, 5);
+        assert!(a.wants("table1"));
+        assert!(a.wants("anything"));
+    }
+
+    #[test]
+    fn parse_full_and_targets() {
+        let a = Args::parse(&s(&["--full", "table2", "fig1"])).unwrap();
+        assert_eq!(a.trials, 100);
+        assert!(a.wants("table2"));
+        assert!(a.wants("fig1"));
+        assert!(!a.wants("table1"));
+    }
+
+    #[test]
+    fn parse_trials_and_seed() {
+        let a = Args::parse(&s(&["--trials", "7", "--seed", "9"])).unwrap();
+        assert_eq!(a.trials, 7);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(Args::parse(&s(&["--bogus"])).is_err());
+        assert!(Args::parse(&s(&["--trials"])).is_err());
+    }
+
+    #[test]
+    fn aligned_histograms_share_edges() {
+        let a = vec![0u64, 10, 20, 100];
+        let b = vec![5u64, 50];
+        let hs = aligned_histograms(&[&a, &b]);
+        assert_eq!(hs[0].len(), hs[1].len());
+        assert_eq!(hs[0][0].0, hs[1][0].0);
+        let total_a: u64 = hs[0].iter().map(|r| r.2).sum();
+        assert_eq!(total_a, 4);
+    }
+}

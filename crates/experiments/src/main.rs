@@ -1,0 +1,105 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick | --full | --trials N] [--seed S] [--out DIR] [targets…]
+//!
+//! targets: table1 table2 fig1 fig2_3 fig4_6 fig7_9 fig10 fig11_12
+//!          fig13_14 text_ri text_ni text_inv messages extensions
+//!          worktick timeseries chord_hops chord_churn
+//!          maintenance_cost async_latency                (default: all)
+//! ```
+//!
+//! `--quick` (default) uses 5 trials per cell; `--full` uses the paper's
+//! 100. Outputs land in `results/` as CSV + Markdown + SVG.
+
+mod chordx;
+mod common;
+mod figures;
+mod tables;
+mod textual;
+
+use common::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: repro [--quick|--full|--trials N] [--seed S] [--out DIR] [targets…]"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "repro: trials={} seed={:#x} out={}",
+        args.trials,
+        args.seed,
+        args.out.display()
+    );
+    let t0 = std::time::Instant::now();
+
+    if args.wants("table1") {
+        tables::table1(&args);
+    }
+    if args.wants("table2") {
+        tables::table2(&args);
+    }
+    if args.wants("fig1") {
+        figures::fig1(&args);
+    }
+    if args.wants("fig2_3") || args.wants("fig2") || args.wants("fig3") {
+        figures::fig2_3(&args);
+    }
+    if args.wants("fig4_6") {
+        figures::fig4_6(&args);
+    }
+    if args.wants("fig7_9") {
+        figures::fig7_9(&args);
+    }
+    if args.wants("fig10") {
+        figures::fig10(&args);
+    }
+    if args.wants("fig11_12") {
+        figures::fig11_12(&args);
+    }
+    if args.wants("fig13_14") {
+        figures::fig13_14(&args);
+    }
+    if args.wants("text_ri") {
+        textual::text_ri(&args);
+    }
+    if args.wants("text_ni") {
+        textual::text_ni(&args);
+    }
+    if args.wants("text_inv") {
+        textual::text_inv(&args);
+    }
+    if args.wants("messages") {
+        textual::messages(&args);
+    }
+    if args.wants("extensions") {
+        textual::extensions(&args);
+    }
+    if args.wants("worktick") {
+        textual::worktick(&args);
+    }
+    if args.wants("timeseries") {
+        textual::timeseries(&args);
+    }
+    if args.wants("chord_hops") {
+        chordx::chord_hops(&args);
+    }
+    if args.wants("chord_churn") {
+        chordx::chord_churn(&args);
+    }
+    if args.wants("maintenance_cost") {
+        chordx::maintenance_cost(&args);
+    }
+    if args.wants("async_latency") {
+        chordx::async_latency(&args);
+    }
+
+    println!("done in {:?}", t0.elapsed());
+}

@@ -1,0 +1,42 @@
+//! # autobal-id
+//!
+//! Identifier arithmetic for a Chord-style distributed hash table.
+//!
+//! This crate provides the three foundations every other crate in the
+//! workspace builds on:
+//!
+//! * [`Id`] — a 160-bit unsigned integer with wrapping (mod 2^160)
+//!   arithmetic, matching the output width of SHA-1. All Chord ring
+//!   positions, task keys, and finger targets are `Id`s.
+//! * [`sha1`] — a from-scratch implementation of the SHA-1 hash function
+//!   (RFC 3174). The paper generates node IDs and task keys by feeding
+//!   random numbers into SHA-1; we do exactly the same.
+//! * [`ring`] — clockwise-arc geometry on the identifier circle:
+//!   containment tests for half-open arcs `(a, b]`, clockwise distances,
+//!   and arc midpoints (used when a node plants a Sybil inside a gap).
+//!
+//! The [`embed`] module maps identifiers to points on the unit circle,
+//! reproducing the visualizations of Figures 2 and 3 of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use autobal_id::{Id, sha1::sha1_id, ring};
+//!
+//! let a = sha1_id(b"node-a");
+//! let b = sha1_id(b"node-b");
+//! let key = sha1_id(b"some-task");
+//!
+//! // Exactly one of the two complementary arcs contains the key.
+//! assert!(ring::in_arc(a, b, key) ^ ring::in_arc(b, a, key));
+//! ```
+
+pub mod embed;
+pub mod ring;
+pub mod sha1;
+mod u160;
+
+pub use u160::Id;
+
+/// The number of bits in an identifier (SHA-1 output width).
+pub const ID_BITS: u32 = 160;

@@ -1,0 +1,134 @@
+//! Percentile-bootstrap confidence intervals for trial means.
+//!
+//! The paper reports bare means of 100 trials; for EXPERIMENTS.md we
+//! attach nonparametric 95 % confidence intervals so paper-vs-measured
+//! comparisons can distinguish noise from real divergence.
+
+use crate::rng::DetRng;
+use rand::Rng;
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConfidenceInterval {
+    pub mean: f64,
+    pub lo: f64,
+    pub hi: f64,
+    /// Nominal coverage, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains `v`.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+/// Percentile-bootstrap CI of the sample mean with `resamples` draws.
+///
+/// Deterministic given the RNG. Returns `None` for an empty sample.
+///
+/// # Panics
+/// Panics if `level` is outside `(0, 1)` or `resamples == 0`.
+pub fn bootstrap_mean_ci(
+    sample: &[f64],
+    level: f64,
+    resamples: usize,
+    rng: &mut DetRng,
+) -> Option<ConfidenceInterval> {
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "bad level {level}");
+    assert!(resamples > 0, "need at least one resample");
+    if sample.is_empty() {
+        return None;
+    }
+    let n = sample.len();
+    let mean = sample.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Some(ConfidenceInterval {
+            mean,
+            lo: mean,
+            hi: mean,
+            level,
+        });
+    }
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += sample[rng.gen_range(0..n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    Some(ConfidenceInterval {
+        mean,
+        lo: means[lo_idx],
+        hi: means[hi_idx],
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let sample: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&sample, 0.95, 2000, &mut seeded_rng(1)).unwrap();
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!(ci.contains(4.5), "true mean 4.5 inside {ci:?}");
+        assert!(ci.half_width() < 1.0);
+    }
+
+    #[test]
+    fn tight_sample_tight_interval() {
+        let sample = vec![5.0; 50];
+        let ci = bootstrap_mean_ci(&sample, 0.95, 500, &mut seeded_rng(2)).unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+    }
+
+    #[test]
+    fn single_observation_degenerate() {
+        let ci = bootstrap_mean_ci(&[3.25], 0.9, 100, &mut seeded_rng(3)).unwrap();
+        assert_eq!((ci.lo, ci.hi), (3.25, 3.25));
+    }
+
+    #[test]
+    fn empty_sample_none() {
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, &mut seeded_rng(4)).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sample: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&sample, 0.95, 1000, &mut seeded_rng(5)).unwrap();
+        let b = bootstrap_mean_ci(&sample, 0.95, 1000, &mut seeded_rng(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let sample: Vec<f64> = (0..60).map(|i| ((i * 37) % 23) as f64).collect();
+        let narrow = bootstrap_mean_ci(&sample, 0.5, 2000, &mut seeded_rng(6)).unwrap();
+        let wide = bootstrap_mean_ci(&sample, 0.99, 2000, &mut seeded_rng(6)).unwrap();
+        assert!(wide.half_width() >= narrow.half_width());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_level() {
+        bootstrap_mean_ci(&[1.0], 1.5, 10, &mut seeded_rng(7));
+    }
+}

@@ -1,0 +1,154 @@
+//! Zipf sampling and heavy-tail diagnostics.
+//!
+//! §III of the paper observes that DHT workload distributions are "better
+//! represented by a Zipfian distribution" than a uniform one. We provide
+//! a Zipf sampler (used by the skewed-workload example) and a crude
+//! log–log rank-size slope estimator to quantify that claim on measured
+//! workloads.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `1..=n`, sampled by inversion over
+/// the precomputed CDF (O(log n) per draw).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution. `alpha` is the exponent (1.0 = classic
+    /// Zipf); `n` the number of ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0, "negative exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Least-squares slope of `log(size)` against `log(rank)` for the
+/// nonzero values sorted descending — a Zipf-like sample yields a slope
+/// near `−α`. Returns `None` with fewer than 3 nonzero values.
+pub fn rank_size_slope(values: &[u64]) -> Option<f64> {
+    let mut v: Vec<u64> = values.iter().copied().filter(|&x| x > 0).collect();
+    if v.len() < 3 {
+        return None;
+    }
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    let pts: Vec<(f64, f64)> = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (((i + 1) as f64).ln(), (x as f64).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zipf_ranks_in_range() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=50).contains(&r));
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut counts = vec![0u64; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > counts[50] * 5);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0u64; 5];
+        let draws = 40_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate().skip(1) {
+            let p = c as f64 / draws as f64;
+            assert!((p - 0.25).abs() < 0.02, "rank {k} p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn slope_of_exact_zipf_is_minus_alpha() {
+        // Sizes k^-1.5 scaled up: slope should recover ≈ -1.5.
+        let values: Vec<u64> = (1..=200u64)
+            .map(|k| ((1e9 / (k as f64).powf(1.5)) as u64).max(1))
+            .collect();
+        let s = rank_size_slope(&values).unwrap();
+        assert!((s + 1.5).abs() < 0.05, "slope {s}");
+    }
+
+    #[test]
+    fn slope_requires_enough_points() {
+        assert!(rank_size_slope(&[5, 4]).is_none());
+        assert!(rank_size_slope(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn slope_of_constant_sample_is_zero() {
+        let s = rank_size_slope(&[7, 7, 7, 7, 7]).unwrap();
+        assert!(s.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! CSV series writers for figure data.
+
+/// One histogram row: `(bin_lo, bin_hi, count)`.
+pub type HistRow = (u64, u64, u64);
+
+/// Writes aligned histogram series: one row per bin with each network's
+/// count in its own column — the exact data behind the paper's overlay
+/// histograms.
+///
+/// All series must share the same bin edges (pad with zero-count rows if
+/// needed before calling).
+pub fn histogram_series_csv(series: &[(&str, &[HistRow])]) -> String {
+    let mut out = String::from("bin_lo,bin_hi");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    let bins = series.iter().map(|(_, rows)| rows.len()).max().unwrap_or(0);
+    for i in 0..bins {
+        let (lo, hi) = series
+            .iter()
+            .find_map(|(_, rows)| rows.get(i).map(|r| (r.0, r.1)))
+            .unwrap_or((0, 0));
+        out.push_str(&format!("{lo},{hi}"));
+        for (_, rows) in series {
+            out.push_str(&format!(",{}", rows.get(i).map_or(0, |r| r.2)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `(x, y…)` line series with a shared x column.
+pub fn xy_series_csv(x_name: &str, xs: &[f64], series: &[(&str, &[f64])]) -> String {
+    let mut out = String::from(x_name);
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x}"));
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(y) => out.push_str(&format!(",{y}")),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_csv_layout() {
+        let a = [(0u64, 10u64, 5u64), (10, 20, 2)];
+        let b = [(0u64, 10u64, 1u64), (10, 20, 9)];
+        let csv = histogram_series_csv(&[("none", &a), ("churn", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "bin_lo,bin_hi,none,churn");
+        assert_eq!(lines[1], "0,10,5,1");
+        assert_eq!(lines[2], "10,20,2,9");
+    }
+
+    #[test]
+    fn histogram_csv_pads_missing_bins() {
+        let a = [(0u64, 10u64, 5u64), (10, 20, 2)];
+        let b = [(0u64, 10u64, 1u64)];
+        let csv = histogram_series_csv(&[("a", &a), ("b", &b)]);
+        assert!(csv.lines().nth(2).unwrap().ends_with(",2,0"));
+    }
+
+    #[test]
+    fn xy_csv_layout() {
+        let xs = [0.0, 1.0];
+        let s1 = [5.0, 6.0];
+        let csv = xy_series_csv("tick", &xs, &[("work", &s1)]);
+        assert_eq!(csv, "tick,work\n0,5\n1,6\n");
+    }
+
+    #[test]
+    fn xy_csv_short_series_leaves_blank() {
+        let xs = [0.0, 1.0];
+        let s1 = [5.0];
+        let csv = xy_series_csv("x", &xs, &[("y", &s1)]);
+        assert!(csv.ends_with("1,\n"));
+    }
+}

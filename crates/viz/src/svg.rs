@@ -1,0 +1,418 @@
+//! A minimal SVG emitter for the paper's two figure shapes: grouped bar
+//! charts (workload histograms) and ring scatters (the Chord circle of
+//! Figures 2–3). Pure string assembly — no dependencies.
+
+use autobal_id::{embed, Id};
+
+/// Series colors (hex), cycled.
+const PALETTE: [&str; 4] = ["#4878cf", "#d65f5f", "#6acc65", "#b47cc7"];
+
+/// A grouped bar chart with one group per bin and one bar per series.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    /// Bin labels along the x axis.
+    pub bins: Vec<String>,
+    /// `(series name, one value per bin)`.
+    pub series: Vec<(String, Vec<f64>)>,
+    pub width: u32,
+    pub height: u32,
+}
+
+impl BarChart {
+    pub fn new(title: impl Into<String>) -> BarChart {
+        BarChart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            bins: Vec::new(),
+            series: Vec::new(),
+            width: 900,
+            height: 420,
+        }
+    }
+
+    /// Builds the chart directly from aligned `(lo, hi, count)` histogram
+    /// rows.
+    pub fn from_histogram_rows(
+        title: impl Into<String>,
+        series: &[(&str, &[crate::csv::HistRow])],
+    ) -> BarChart {
+        let mut chart = BarChart::new(title);
+        let bins = series.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+        for i in 0..bins {
+            let (lo, hi) = series
+                .iter()
+                .find_map(|(_, rows)| rows.get(i).map(|r| (r.0, r.1)))
+                .unwrap_or((0, 0));
+            chart.bins.push(format!("{lo}–{hi}"));
+        }
+        for (name, rows) in series {
+            let vals: Vec<f64> = (0..bins)
+                .map(|i| rows.get(i).map_or(0.0, |r| r.2 as f64))
+                .collect();
+            chart.series.push((name.to_string(), vals));
+        }
+        chart.x_label = "tasks per node".into();
+        chart.y_label = "nodes".into();
+        chart
+    }
+
+    /// Renders the chart to an SVG document.
+    pub fn to_svg(&self) -> String {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let margin = 50.0;
+        let plot_w = w - 2.0 * margin;
+        let plot_h = h - 2.0 * margin;
+        let max_val = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+
+        let mut s = String::new();
+        s.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\">\n"
+        ));
+        s.push_str(&format!(
+            "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+            w / 2.0,
+            escape(&self.title)
+        ));
+        // Axes.
+        s.push_str(&format!(
+            "<line x1=\"{margin}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333\"/>\n",
+            h - margin,
+            w - margin,
+            h - margin
+        ));
+        s.push_str(&format!(
+            "<line x1=\"{margin}\" y1=\"{margin}\" x2=\"{margin}\" y2=\"{}\" stroke=\"#333\"/>\n",
+            h - margin
+        ));
+        // Y-axis ticks (4).
+        for t in 0..=4 {
+            let frac = t as f64 / 4.0;
+            let y = h - margin - frac * plot_h;
+            let val = frac * max_val;
+            s.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"10\">{:.0}</text>\n",
+                margin - 5.0,
+                y + 3.0,
+                val
+            ));
+            s.push_str(&format!(
+                "<line x1=\"{margin}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#ddd\"/>\n",
+                w - margin
+            ));
+        }
+        // Bars.
+        let nbins = self.bins.len().max(1);
+        let nseries = self.series.len().max(1);
+        let group_w = plot_w / nbins as f64;
+        let bar_w = (group_w * 0.8) / nseries as f64;
+        for (si, (_, vals)) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            for (bi, &v) in vals.iter().enumerate() {
+                let bh = (v / max_val) * plot_h;
+                let x = margin + bi as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
+                let y = h - margin - bh;
+                s.push_str(&format!(
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{bh:.1}\" \
+                     fill=\"{color}\"/>\n"
+                ));
+            }
+        }
+        // Bin labels (thinned to ~12 to stay readable).
+        let stride = (nbins / 12).max(1);
+        for (bi, label) in self.bins.iter().enumerate().step_by(stride) {
+            let x = margin + (bi as f64 + 0.5) * group_w;
+            s.push_str(&format!(
+                "<text x=\"{x:.1}\" y=\"{}\" text-anchor=\"middle\" font-size=\"9\">{}</text>\n",
+                h - margin + 14.0,
+                escape(label)
+            ));
+        }
+        // Legend.
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let y = margin + si as f64 * 16.0;
+            s.push_str(&format!(
+                "<rect x=\"{}\" y=\"{}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\n\
+                 <text x=\"{}\" y=\"{}\" font-size=\"11\">{}</text>\n",
+                w - margin - 150.0,
+                y,
+                w - margin - 133.0,
+                y + 10.0,
+                escape(name)
+            ));
+        }
+        // Axis labels.
+        s.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\">{}</text>\n",
+            w / 2.0,
+            h - 8.0,
+            escape(&self.x_label)
+        ));
+        s.push_str(&format!(
+            "<text x=\"14\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\" \
+             transform=\"rotate(-90 14 {})\">{}</text>\n",
+            h / 2.0,
+            h / 2.0,
+            escape(&self.y_label)
+        ));
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// A multi-series line chart (e.g. work-per-tick over time).
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    /// `(series name, y values)`; x is the index (tick).
+    pub series: Vec<(String, Vec<f64>)>,
+    pub width: u32,
+    pub height: u32,
+}
+
+impl LineChart {
+    pub fn new(title: impl Into<String>) -> LineChart {
+        LineChart {
+            title: title.into(),
+            x_label: "tick".into(),
+            y_label: String::new(),
+            series: Vec::new(),
+            width: 900,
+            height: 420,
+        }
+    }
+
+    /// Adds a named series.
+    pub fn push_series(&mut self, name: impl Into<String>, ys: Vec<f64>) {
+        self.series.push((name.into(), ys));
+    }
+
+    /// Renders to an SVG document.
+    pub fn to_svg(&self) -> String {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let margin = 50.0;
+        let plot_w = w - 2.0 * margin;
+        let plot_h = h - 2.0 * margin;
+        let max_y = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        let max_x = self
+            .series
+            .iter()
+            .map(|(_, v)| v.len())
+            .max()
+            .unwrap_or(1)
+            .max(2) as f64
+            - 1.0;
+
+        let mut s = String::new();
+        s.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\">\n"
+        ));
+        s.push_str(&format!(
+            "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+            w / 2.0,
+            escape(&self.title)
+        ));
+        s.push_str(&format!(
+            "<line x1=\"{margin}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333\"/>\n\
+             <line x1=\"{margin}\" y1=\"{margin}\" x2=\"{margin}\" y2=\"{}\" stroke=\"#333\"/>\n",
+            h - margin,
+            w - margin,
+            h - margin,
+            h - margin
+        ));
+        for t in 0..=4 {
+            let frac = t as f64 / 4.0;
+            let y = h - margin - frac * plot_h;
+            s.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"10\">{:.0}</text>\n\
+                 <line x1=\"{margin}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#eee\"/>\n",
+                margin - 5.0,
+                y + 3.0,
+                frac * max_y,
+                w - margin
+            ));
+        }
+        for (si, (name, ys)) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let pts: Vec<String> = ys
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| {
+                    let px = margin + (i as f64 / max_x) * plot_w;
+                    let py = h - margin - (y / max_y) * plot_h;
+                    format!("{px:.1},{py:.1}")
+                })
+                .collect();
+            if !pts.is_empty() {
+                s.push_str(&format!(
+                    "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\" \
+                     points=\"{}\"/>\n",
+                    pts.join(" ")
+                ));
+            }
+            let ly = margin + si as f64 * 16.0;
+            s.push_str(&format!(
+                "<rect x=\"{}\" y=\"{ly}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\n\
+                 <text x=\"{}\" y=\"{}\" font-size=\"11\">{}</text>\n",
+                w - margin - 150.0,
+                w - margin - 133.0,
+                ly + 10.0,
+                escape(name)
+            ));
+        }
+        s.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\">{}</text>\n",
+            w / 2.0,
+            h - 8.0,
+            escape(&self.x_label)
+        ));
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// The Chord ring visualization of Figures 2–3: nodes as circles, task
+/// keys as small crosses, all on the unit circle.
+#[derive(Debug, Clone)]
+pub struct RingScatter {
+    pub title: String,
+    pub nodes: Vec<Id>,
+    pub tasks: Vec<Id>,
+    pub size: u32,
+}
+
+impl RingScatter {
+    pub fn new(title: impl Into<String>, nodes: Vec<Id>, tasks: Vec<Id>) -> RingScatter {
+        RingScatter {
+            title: title.into(),
+            nodes,
+            tasks,
+            size: 500,
+        }
+    }
+
+    pub fn to_svg(&self) -> String {
+        let s = self.size as f64;
+        let (cx, cy, r) = (s / 2.0, s / 2.0 + 10.0, s / 2.0 - 40.0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{s}\" height=\"{}\" \
+             viewBox=\"0 0 {s} {}\" font-family=\"sans-serif\">\n",
+            s + 20.0,
+            s + 20.0
+        ));
+        out.push_str(&format!(
+            "<text x=\"{cx}\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+            escape(&self.title)
+        ));
+        out.push_str(&format!(
+            "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"{r}\" fill=\"none\" stroke=\"#999\"/>\n"
+        ));
+        for &t in &self.tasks {
+            let p = embed::ring_xy_scaled(t, cx, cy, r);
+            out.push_str(&format!(
+                "<path d=\"M {x0} {y} L {x1} {y} M {x} {y0} L {x} {y1}\" stroke=\"#4878cf\" \
+                 stroke-width=\"1\"/>\n",
+                x0 = p.x - 3.0,
+                x1 = p.x + 3.0,
+                y0 = p.y - 3.0,
+                y1 = p.y + 3.0,
+                x = p.x,
+                y = p.y
+            ));
+        }
+        for &n in &self.nodes {
+            let p = embed::ring_xy_scaled(n, cx, cy, r);
+            out.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"6\" fill=\"#d65f5f\"/>\n",
+                p.x, p.y
+            ));
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_svg_is_well_formed_enough() {
+        let a = [(0u64, 10u64, 5u64), (10, 20, 2)];
+        let b = [(0u64, 10u64, 1u64), (10, 20, 9)];
+        let chart = BarChart::from_histogram_rows("demo", &[("none", &a), ("churn", &b)]);
+        let svg = chart.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 4 + 2); // 4 bars + 2 legend chips
+        assert!(svg.contains("none"));
+        assert!(svg.contains("churn"));
+    }
+
+    #[test]
+    fn bar_chart_handles_empty() {
+        let chart = BarChart::new("empty");
+        let svg = chart.to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let chart = BarChart::new("a < b & c");
+        let svg = chart.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn line_chart_draws_polylines_and_legend() {
+        let mut c = LineChart::new("work per tick");
+        c.push_series("none", vec![10.0, 9.0, 8.0]);
+        c.push_series("random", vec![10.0, 10.0]);
+        let svg = c.to_svg();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("random"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn line_chart_empty_series_is_safe() {
+        let mut c = LineChart::new("empty");
+        c.push_series("nothing", vec![]);
+        let svg = c.to_svg();
+        assert_eq!(svg.matches("<polyline").count(), 0);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn ring_scatter_draws_every_point() {
+        let nodes: Vec<Id> = (1..=3u64).map(|v| Id::from(v * 1000)).collect();
+        let tasks: Vec<Id> = (1..=5u64).map(|v| Id::from(v * 777)).collect();
+        let svg = RingScatter::new("ring", nodes, tasks).to_svg();
+        // 1 ring circle + 3 node circles.
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert_eq!(svg.matches("<path").count(), 5);
+    }
+}

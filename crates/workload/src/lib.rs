@@ -1,0 +1,21 @@
+//! # autobal-workload
+//!
+//! Experiment plumbing: key/placement generators, the rayon-parallel
+//! multi-trial runner, and table formatting.
+//!
+//! The paper's every table row is "the average of 100 trials"; this
+//! crate runs those trials across cores with deterministic per-trial
+//! seeds, so any row can be reproduced bit-for-bit from `(spec, seed)`.
+
+pub mod gen;
+pub mod placement;
+pub mod spec;
+pub mod sweep;
+pub mod tables;
+pub mod trials;
+
+pub use gen::{evenly_spaced_ids, random_ids, sha1_keys};
+pub use placement::initial_load_summary;
+pub use spec::ExperimentSpec;
+pub use sweep::{sweep, SweepPoint};
+pub use trials::{run_trials, summarize, TrialStats};

@@ -1,0 +1,67 @@
+//! Named, serializable experiment specifications.
+
+use autobal_core::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// A named batch of identical trials — one table row or figure series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Identifier used in file names and logs (e.g. `table2_churn0.01`).
+    pub name: String,
+    /// The per-trial simulator configuration.
+    pub config: SimConfig,
+    /// How many independent trials to run (paper: 100).
+    pub trials: u64,
+    /// Master seed; trial `t` derives stream `t`.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    pub fn new(name: impl Into<String>, config: SimConfig, trials: u64, seed: u64) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            config,
+            trials,
+            seed,
+        }
+    }
+
+    /// JSON round-trip helpers for archiving exactly what was run.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobal_core::StrategyKind;
+
+    #[test]
+    fn json_roundtrip() {
+        let spec = ExperimentSpec::new(
+            "demo",
+            SimConfig {
+                nodes: 10,
+                tasks: 100,
+                strategy: StrategyKind::Churn,
+                churn_rate: 0.01,
+                ..SimConfig::default()
+            },
+            5,
+            42,
+        );
+        let json = spec.to_json();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(ExperimentSpec::from_json("{nope").is_err());
+    }
+}

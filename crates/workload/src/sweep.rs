@@ -1,0 +1,120 @@
+//! One-knob parameter sweeps — the machinery behind the §VI-B-1
+//! "Effects of Other Variables" analyses and the ablation benches.
+
+use crate::trials::{run_and_summarize, TrialStats};
+use autobal_core::SimConfig;
+
+/// The result of sweeping a single knob.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<V> {
+    pub value: V,
+    pub stats: TrialStats,
+}
+
+/// Runs `trials` per point, applying `set` to the base config for each
+/// value of the knob.
+pub fn sweep<V, F>(
+    base: &SimConfig,
+    values: &[V],
+    trials: u64,
+    seed: u64,
+    set: F,
+) -> Vec<SweepPoint<V>>
+where
+    V: Clone,
+    F: Fn(&mut SimConfig, &V),
+{
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let mut cfg = base.clone();
+            set(&mut cfg, v);
+            SweepPoint {
+                value: v.clone(),
+                stats: run_and_summarize(&cfg, trials, seed ^ ((i as u64 + 1) << 32)),
+            }
+        })
+        .collect()
+}
+
+/// Convenience: sweep the churn rate (Table II's row axis).
+pub fn sweep_churn_rate(
+    base: &SimConfig,
+    rates: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Vec<SweepPoint<f64>> {
+    sweep(base, rates, trials, seed, |cfg, &r| cfg.churn_rate = r)
+}
+
+/// Convenience: sweep the Sybil threshold.
+pub fn sweep_threshold(
+    base: &SimConfig,
+    thresholds: &[u64],
+    trials: u64,
+    seed: u64,
+) -> Vec<SweepPoint<u64>> {
+    sweep(base, thresholds, trials, seed, |cfg, &t| {
+        cfg.sybil_threshold = t
+    })
+}
+
+/// True when mean runtime factors are non-increasing along the sweep
+/// (within `slack` of noise) — the Table II monotonicity check.
+pub fn is_monotone_improving<V>(points: &[SweepPoint<V>], slack: f64) -> bool {
+    points
+        .windows(2)
+        .all(|w| w[1].stats.mean_runtime_factor <= w[0].stats.mean_runtime_factor + slack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobal_core::StrategyKind;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            nodes: 60,
+            tasks: 6_000,
+            strategy: StrategyKind::Churn,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn churn_sweep_is_monotone() {
+        let pts = sweep_churn_rate(&base(), &[0.0, 0.005, 0.02], 6, 1);
+        assert_eq!(pts.len(), 3);
+        assert!(is_monotone_improving(&pts, 0.25), "{:?}", pts
+            .iter()
+            .map(|p| p.stats.mean_runtime_factor)
+            .collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_applies_the_knob() {
+        let pts = sweep(&base(), &[1usize, 10], 2, 2, |cfg, &v| {
+            cfg.num_successors = v;
+        });
+        assert_eq!(pts[0].value, 1);
+        assert_eq!(pts[1].value, 10);
+    }
+
+    #[test]
+    fn threshold_sweep_runs() {
+        let mut b = base();
+        b.strategy = StrategyKind::RandomInjection;
+        let pts = sweep_threshold(&b, &[0, 5], 4, 3);
+        assert!(pts.iter().all(|p| p.stats.incomplete == 0));
+    }
+
+    #[test]
+    fn monotone_check_detects_regression() {
+        let pts = sweep(&base(), &[0.02f64, 0.0], 6, 4, |cfg, &r| {
+            cfg.churn_rate = r;
+        });
+        // Reversed order: factor increases, so not monotone improving.
+        assert!(!is_monotone_improving(&pts, 0.05));
+    }
+}

@@ -1,0 +1,128 @@
+//! The rayon-parallel trial runner.
+//!
+//! Each trial gets an independent deterministic seed stream, so results
+//! are reproducible regardless of thread scheduling; rayon's work
+//! stealing only changes *when* a trial runs, never *what* it computes.
+
+use autobal_core::{RunResult, Sim, SimConfig, SimMessageStats};
+use rayon::prelude::*;
+
+/// Aggregate statistics over a batch of trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialStats {
+    pub trials: u64,
+    pub mean_runtime_factor: f64,
+    pub std_runtime_factor: f64,
+    pub min_runtime_factor: f64,
+    pub max_runtime_factor: f64,
+    pub mean_ticks: f64,
+    pub ideal_ticks: u64,
+    /// Sum of message counters across trials.
+    pub messages: SimMessageStats,
+    /// Count of trials that hit the tick cap instead of finishing.
+    pub incomplete: u64,
+}
+
+/// Runs `trials` independent simulations of `cfg` in parallel and
+/// returns every [`RunResult`] (trial order preserved).
+pub fn run_trials(cfg: &SimConfig, trials: u64, seed: u64) -> Vec<RunResult> {
+    (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            // Mix the trial index into the seed; Sim::new derives all
+            // its substreams from this one value.
+            let trial_seed = seed ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            Sim::new(cfg.clone(), trial_seed).run()
+        })
+        .collect()
+}
+
+/// Collapses a batch of results into summary statistics.
+pub fn summarize(results: &[RunResult]) -> TrialStats {
+    assert!(!results.is_empty(), "cannot summarize zero trials");
+    let n = results.len() as f64;
+    let factors: Vec<f64> = results.iter().map(|r| r.runtime_factor).collect();
+    let mean = factors.iter().sum::<f64>() / n;
+    let var = factors.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>()
+        / (n - 1.0).max(1.0);
+    let mut messages = SimMessageStats::default();
+    for r in results {
+        messages.merge(&r.messages);
+    }
+    TrialStats {
+        trials: results.len() as u64,
+        mean_runtime_factor: mean,
+        std_runtime_factor: var.sqrt(),
+        min_runtime_factor: factors.iter().copied().fold(f64::INFINITY, f64::min),
+        max_runtime_factor: factors.iter().copied().fold(0.0, f64::max),
+        mean_ticks: results.iter().map(|r| r.ticks as f64).sum::<f64>() / n,
+        ideal_ticks: results[0].ideal_ticks,
+        messages,
+        incomplete: results.iter().filter(|r| !r.completed).count() as u64,
+    }
+}
+
+/// Convenience: run + summarize.
+pub fn run_and_summarize(cfg: &SimConfig, trials: u64, seed: u64) -> TrialStats {
+    summarize(&run_trials(cfg, trials, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobal_core::StrategyKind;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            nodes: 30,
+            tasks: 1_000,
+            strategy: StrategyKind::None,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn trials_are_reproducible_across_runs() {
+        let a = run_trials(&cfg(), 4, 99);
+        let b = run_trials(&cfg(), 4, 99);
+        assert_eq!(
+            a.iter().map(|r| r.ticks).collect::<Vec<_>>(),
+            b.iter().map(|r| r.ticks).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_trials_differ() {
+        let rs = run_trials(&cfg(), 6, 1);
+        let ticks: std::collections::HashSet<u64> = rs.iter().map(|r| r.ticks).collect();
+        assert!(ticks.len() > 1, "independent placements should vary");
+    }
+
+    #[test]
+    fn summary_statistics_are_sane() {
+        let rs = run_trials(&cfg(), 8, 2);
+        let s = summarize(&rs);
+        assert_eq!(s.trials, 8);
+        assert!(s.min_runtime_factor <= s.mean_runtime_factor);
+        assert!(s.mean_runtime_factor <= s.max_runtime_factor);
+        assert!(s.std_runtime_factor >= 0.0);
+        assert_eq!(s.incomplete, 0);
+        assert_eq!(s.ideal_ticks, rs[0].ideal_ticks);
+    }
+
+    #[test]
+    #[should_panic]
+    fn summarize_empty_panics() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn messages_are_merged() {
+        let c = SimConfig {
+            strategy: StrategyKind::RandomInjection,
+            ..cfg()
+        };
+        let s = run_and_summarize(&c, 3, 3);
+        assert!(s.messages.sybils_created > 0);
+    }
+}

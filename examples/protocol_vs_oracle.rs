@@ -1,0 +1,63 @@
+//! Cross-validation of the two simulation fidelities: the oracle-ring
+//! tick simulator (what the paper used) versus the full Chord protocol
+//! substrate (what a deployment would run) — same workload, same
+//! strategy, side by side with the protocol's true message bill.
+//!
+//! ```text
+//! cargo run --release --example protocol_vs_oracle
+//! ```
+
+use autobal::protocol_sim::{run_protocol_sim, ProtocolSimConfig};
+use autobal::sim::{Sim, SimConfig, StrategyKind};
+
+fn main() {
+    let nodes = 48;
+    let tasks = 4_800u64;
+    println!("{nodes} nodes, {tasks} tasks — ideal runtime {} ticks\n", tasks / nodes as u64);
+    println!("| level | strategy | ticks | factor | protocol msgs |");
+    println!("|---|---|---|---|---|");
+
+    for (label, injection) in [("none", false), ("random injection", true)] {
+        // Protocol substrate.
+        let p = run_protocol_sim(
+            &ProtocolSimConfig {
+                nodes,
+                tasks,
+                random_injection: injection,
+                ..ProtocolSimConfig::default()
+            },
+            7,
+        );
+        println!(
+            "| chord protocol | {label} | {} | {:.2} | {} |",
+            p.ticks,
+            p.runtime_factor,
+            p.messages.total()
+        );
+
+        // Oracle ring.
+        let o = Sim::new(
+            SimConfig {
+                nodes,
+                tasks,
+                strategy: if injection {
+                    StrategyKind::RandomInjection
+                } else {
+                    StrategyKind::None
+                },
+                ..SimConfig::default()
+            },
+            7,
+        )
+        .run();
+        println!(
+            "| oracle ring | {label} | {} | {:.2} | (not modeled) |",
+            o.ticks, o.runtime_factor
+        );
+    }
+    println!(
+        "\nThe two levels must tell the same story — the oracle ring is\n\
+         the paper's abstraction, the protocol run pays for every lookup,\n\
+         join, stabilize round, and replica push along the way."
+    );
+}

@@ -1,0 +1,66 @@
+//! Head-to-head comparison of every strategy with balance metrics the
+//! paper argues from histograms — Gini coefficient, Jain's index, idle
+//! counts — tracked at the paper's observation ticks.
+//!
+//! ```text
+//! cargo run --release --example strategy_shootout [nodes] [tasks]
+//! ```
+
+use autobal::sim::{Sim, SimConfig, StrategyKind};
+use autobal::stats::{coefficient_of_variation, gini, jain_index};
+use autobal::workload::tables::{f3, Table};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let nodes: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let tasks: u64 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+
+    println!("strategy shootout: {nodes} nodes, {tasks} tasks (same placement)\n");
+    let mut results = Table::new(vec![
+        "strategy",
+        "ticks",
+        "factor",
+        "gini@35",
+        "jain@35",
+        "cov@35",
+        "idle@35",
+    ]);
+
+    for strat in StrategyKind::ALL {
+        let cfg = SimConfig {
+            nodes,
+            tasks,
+            strategy: strat,
+            churn_rate: if strat == StrategyKind::Churn { 0.01 } else { 0.0 },
+            snapshot_ticks: vec![35],
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 1234).run();
+        let (g, j, cv, idle) = match res.snapshot_at(35) {
+            Some(s) => (
+                gini(&s.loads),
+                jain_index(&s.loads),
+                coefficient_of_variation(&s.loads),
+                s.idle,
+            ),
+            None => (0.0, 1.0, 0.0, 0), // finished before tick 35
+        };
+        results.push_row(vec![
+            strat.label().to_string(),
+            res.ticks.to_string(),
+            f3(res.runtime_factor),
+            f3(g),
+            f3(j),
+            f3(cv),
+            idle.to_string(),
+        ]);
+    }
+    println!("{}", results.to_markdown());
+    println!(
+        "Lower Gini / CoV and higher Jain = flatter workload. Random\n\
+         injection should post the best runtime factor and the fewest\n\
+         idle nodes; the neighbor strategies can show flatter mid-run\n\
+         distributions while still finishing later (the paper's Fig 11\n\
+         observation: the histogram shifts left but nodes idle)."
+    );
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the Chord protocol substrate driven through
+//! the umbrella crate, including the paper's standing assumptions
+//! (active backup, fast joins, tick-sized maintenance).
+
+use autobal::chord::{NetConfig, Network};
+use autobal::id::sha1::sha1_id_of_u64;
+use autobal::stats::seeded_rng;
+use autobal::Id;
+use rand::Rng;
+
+#[test]
+fn lookups_agree_with_oracle_across_sizes() {
+    for n in [2usize, 3, 10, 100] {
+        let mut rng = seeded_rng(n as u64);
+        let mut net = Network::bootstrap(NetConfig::default(), n, &mut rng);
+        for k in 0..50u64 {
+            let key = sha1_id_of_u64(k);
+            let truth = net.owner_of(key).unwrap();
+            let from = net.node_ids()[k as usize % n];
+            assert_eq!(net.lookup(from, key).unwrap().owner, truth, "n={n} k={k}");
+        }
+    }
+}
+
+#[test]
+fn hop_counts_scale_logarithmically() {
+    let mut rng = seeded_rng(7);
+    let mut mean_hops = Vec::new();
+    for n in [64usize, 512] {
+        let mut net = Network::bootstrap(NetConfig::default(), n, &mut rng);
+        let stats = autobal::chord::routing::measure_hops(&mut net, 200, &mut rng);
+        assert_eq!(stats.failed, 0);
+        mean_hops.push(stats.mean());
+    }
+    // 8x more nodes must cost far less than 8x more hops.
+    assert!(mean_hops[1] < mean_hops[0] * 3.0, "{mean_hops:?}");
+}
+
+#[test]
+fn replication_survives_targeted_killing_of_loaded_nodes() {
+    let mut rng = seeded_rng(8);
+    let mut net = Network::bootstrap(NetConfig::default(), 40, &mut rng);
+    for k in 0..400u64 {
+        net.insert_key(sha1_id_of_u64(k));
+    }
+    net.maintenance_cycle();
+    // Kill the three most-loaded nodes simultaneously.
+    let mut by_load: Vec<(usize, Id)> = net
+        .node_ids()
+        .into_iter()
+        .map(|id| (net.node(id).unwrap().load(), id))
+        .collect();
+    by_load.sort_unstable_by_key(|&(load, _)| std::cmp::Reverse(load));
+    for &(_, id) in by_load.iter().take(3) {
+        net.fail(id).unwrap();
+    }
+    for _ in 0..3 {
+        net.maintenance_cycle();
+    }
+    assert_eq!(net.total_keys(), 400, "every key recovered from replicas");
+    assert!(net.is_consistent());
+}
+
+#[test]
+fn sustained_churn_with_traffic() {
+    let mut rng = seeded_rng(9);
+    let mut net = Network::bootstrap(NetConfig::default(), 32, &mut rng);
+    for k in 0..200u64 {
+        net.insert_key(sha1_id_of_u64(k));
+    }
+    net.maintenance_cycle();
+    for round in 0..30 {
+        // Random churn event.
+        match rng.gen_range(0..3) {
+            0 => {
+                let ids = net.node_ids();
+                if ids.len() > 8 {
+                    net.fail(ids[rng.gen_range(0..ids.len())]).unwrap();
+                }
+            }
+            1 => {
+                let contact = net.node_ids()[0];
+                net.join(Id::random(&mut rng), contact).unwrap();
+            }
+            _ => {
+                let ids = net.node_ids();
+                if ids.len() > 8 {
+                    net.leave(ids[rng.gen_range(0..ids.len())]).unwrap();
+                }
+            }
+        }
+        net.maintenance_cycle();
+        // Traffic continues to route mid-churn.
+        let from = net.node_ids()[0];
+        let key = sha1_id_of_u64(round);
+        let res = net.lookup(from, key);
+        assert!(res.is_ok(), "round {round}: lookup failed {res:?}");
+    }
+    for _ in 0..3 {
+        net.maintenance_cycle();
+    }
+    assert_eq!(net.total_keys(), 200);
+    assert!(net.is_consistent());
+}
+
+#[test]
+fn successor_list_length_is_respected() {
+    for len in [3usize, 10] {
+        let cfg = NetConfig {
+            successor_list_len: len,
+            predecessor_list_len: len,
+            replication_factor: len,
+            ..NetConfig::default()
+        };
+        let mut rng = seeded_rng(10 + len as u64);
+        let mut net = Network::bootstrap(cfg, 30, &mut rng);
+        net.maintenance_cycle();
+        for id in net.node_ids() {
+            let node = net.node(id).unwrap();
+            assert!(node.successors.len() <= len);
+            assert!(node.predecessors.len() <= len);
+            assert!(!node.successors.is_empty());
+        }
+    }
+}
+
+#[test]
+fn graceful_leave_of_half_the_network() {
+    let mut rng = seeded_rng(11);
+    let mut net = Network::bootstrap(NetConfig::default(), 20, &mut rng);
+    for k in 0..100u64 {
+        net.insert_key(sha1_id_of_u64(k));
+    }
+    let ids = net.node_ids();
+    for id in ids.iter().step_by(2) {
+        net.leave(*id).unwrap();
+    }
+    assert_eq!(net.len(), 10);
+    assert_eq!(net.total_keys(), 100);
+    net.maintenance_cycle();
+    assert!(net.is_consistent());
+}
+
+#[test]
+fn message_counters_reflect_the_work_done() {
+    let mut rng = seeded_rng(12);
+    let mut net = Network::bootstrap(NetConfig::default(), 16, &mut rng);
+    let before = net.stats.clone();
+    assert_eq!(before.total(), 0, "bootstrap is free (oracle wiring)");
+    for k in 0..20u64 {
+        net.insert_key(sha1_id_of_u64(k));
+    }
+    net.maintenance_cycle();
+    assert!(net.stats.stabilize >= 16);
+    assert!(net.stats.replica_push > 0);
+    let contact = net.node_ids()[0];
+    let hops_before = net.stats.find_successor_hops;
+    net.join(Id::random(&mut rng), contact).unwrap();
+    assert!(net.stats.key_transfer > 0);
+    assert!(net.stats.find_successor_hops >= hops_before);
+}
+
+/// Regression test: a node that inherits keys from a dead neighbor must
+/// re-replicate them in the same maintenance cycle. If the push happens
+/// before the promotion, a cascading failure (the inheritor dying the
+/// next round) silently loses the inherited keys.
+#[test]
+fn cascading_failures_do_not_lose_inherited_keys() {
+    let mut rng = seeded_rng(40);
+    let mut net = Network::bootstrap(NetConfig::default(), 40, &mut rng);
+    for k in 0..300u64 {
+        net.insert_key(sha1_id_of_u64(k));
+    }
+    net.maintenance_cycle();
+    for round in 0..25 {
+        // Two failures + two joins per round, like a live swarm.
+        for _ in 0..2 {
+            let ids = net.node_ids();
+            net.fail(ids[rng.gen_range(0..ids.len())]).unwrap();
+        }
+        for _ in 0..2 {
+            let contact = net.node_ids()[0];
+            net.join(Id::random(&mut rng), contact).unwrap();
+        }
+        net.maintenance_cycle();
+        assert_eq!(
+            net.total_keys(),
+            300,
+            "keys lost by round {round} — promotion must precede replica push"
+        );
+    }
+    assert!(net.is_consistent());
+}
