@@ -22,17 +22,21 @@ fn bench_threshold(c: &mut Criterion) {
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(2));
     for thr in [0u64, 1, 5, 10] {
-        g.bench_with_input(BenchmarkId::new("random_injection", thr), &thr, |b, &thr| {
-            let cfg = SimConfig {
-                sybil_threshold: thr,
-                ..base(StrategyKind::RandomInjection)
-            };
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(Sim::new(cfg.clone(), seed).run().runtime_factor)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("random_injection", thr),
+            &thr,
+            |b, &thr| {
+                let cfg = SimConfig {
+                    sybil_threshold: thr,
+                    ..base(StrategyKind::RandomInjection)
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(Sim::new(cfg.clone(), seed).run().runtime_factor)
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -51,7 +51,9 @@ fn bench_embedding(c: &mut Criterion) {
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(2));
     let mut rng = autobal_stats::seeded_rng(3);
-    let ids: Vec<autobal_id::Id> = (0..1000).map(|_| autobal_id::Id::random(&mut rng)).collect();
+    let ids: Vec<autobal_id::Id> = (0..1000)
+        .map(|_| autobal_id::Id::random(&mut rng))
+        .collect();
     g.bench_function("embed_1000_ids", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -65,5 +67,10 @@ fn bench_embedding(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_snapshot_run, bench_histograms, bench_embedding);
+criterion_group!(
+    benches,
+    bench_snapshot_run,
+    bench_histograms,
+    bench_embedding
+);
 criterion_main!(benches);

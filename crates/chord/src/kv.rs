@@ -29,10 +29,7 @@ impl Network {
     pub fn get(&mut self, from: Id, key: Id) -> Result<Option<Bytes>, NetworkError> {
         let owner = self.lookup(from, key)?.owner;
         self.stats.record(MessageKind::FetchValue);
-        Ok(self
-            .node(owner)
-            .and_then(|n| n.store.get(&key))
-            .cloned())
+        Ok(self.node(owner).and_then(|n| n.store.get(&key)).cloned())
     }
 
     /// Removes the value (and key) stored under `key`. Returns the value
@@ -124,7 +121,11 @@ mod tests {
             net.maintenance_cycle();
         }
         let from = net.node_ids()[0];
-        assert_eq!(net.get(from, key).unwrap(), Some(value(5)), "value recovered");
+        assert_eq!(
+            net.get(from, key).unwrap(),
+            Some(value(5)),
+            "value recovered"
+        );
         assert_eq!(net.total_values(), 100);
     }
 

@@ -100,10 +100,7 @@ impl Network {
         if succ != id {
             // x = successor.predecessor; adopt it if it sits between us.
             let x = self.nodes[&succ].predecessor();
-            if x != id
-                && self.nodes.contains_key(&x)
-                && ring::in_open_arc(id, succ, x)
-            {
+            if x != id && self.nodes.contains_key(&x) && ring::in_open_arc(id, succ, x) {
                 let node = self.nodes.get_mut(&id).unwrap();
                 node.successors.retain(|&s| s != x);
                 node.successors.insert(0, x);
@@ -137,7 +134,12 @@ impl Network {
             let pulled: Vec<autobal_id::Id> = {
                 let s = &self.nodes[&succ];
                 let mut list = vec![succ];
-                list.extend(s.successors.iter().copied().filter(|&x| x != id && x != succ));
+                list.extend(
+                    s.successors
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != id && x != succ),
+                );
                 list.truncate(self.cfg.successor_list_len);
                 list
             };

@@ -176,10 +176,7 @@ impl Network {
         }
         let after = self
             .nodes
-            .range((
-                std::ops::Bound::Excluded(id),
-                std::ops::Bound::Unbounded,
-            ))
+            .range((std::ops::Bound::Excluded(id), std::ops::Bound::Unbounded))
             .next()
             .map(|(i, _)| *i);
         after.or_else(|| self.nodes.keys().next().copied())
@@ -231,7 +228,11 @@ impl Network {
             let node = &self.nodes[&cur];
             // Does the current node already own the key?
             if node.owns(key) && self.nodes.contains_key(&node.predecessor()) {
-                return Ok(LookupResult { owner: cur, hops, path });
+                return Ok(LookupResult {
+                    owner: cur,
+                    hops,
+                    path,
+                });
             }
             let succ = node.successor();
             // Key between cur and its live successor → successor owns it.
@@ -239,7 +240,11 @@ impl Network {
                 self.stats.record(MessageKind::FindSuccessorHop);
                 hops += 1;
                 path.push(succ);
-                return Ok(LookupResult { owner: succ, hops, path });
+                return Ok(LookupResult {
+                    owner: succ,
+                    hops,
+                    path,
+                });
             }
             // Otherwise route through the closest preceding live entry.
             let next = {
@@ -279,7 +284,11 @@ impl Network {
                         _ => {
                             // Alone in the ring (or fully partitioned):
                             // current node is the owner by default.
-                            return Ok(LookupResult { owner: cur, hops, path });
+                            return Ok(LookupResult {
+                                owner: cur,
+                                hops,
+                                path,
+                            });
                         }
                     }
                 }
@@ -450,7 +459,11 @@ impl Network {
                 successors.push(id);
             }
             let mut predecessors = Vec::with_capacity(self.cfg.predecessor_list_len);
-            for k in 1..=self.cfg.predecessor_list_len.min(n.saturating_sub(1).max(1)) {
+            for k in 1..=self
+                .cfg
+                .predecessor_list_len
+                .min(n.saturating_sub(1).max(1))
+            {
                 predecessors.push(ids[(i + n - k % n) % n]);
             }
             if predecessors.is_empty() {
@@ -727,8 +740,12 @@ mod error_tests {
             NetworkError::EmptyNetwork.to_string(),
             "network has no live nodes"
         );
-        assert!(NetworkError::DuplicateId(id).to_string().contains("duplicate"));
-        assert!(NetworkError::UnknownNode(id).to_string().contains("unknown"));
+        assert!(NetworkError::DuplicateId(id)
+            .to_string()
+            .contains("duplicate"));
+        assert!(NetworkError::UnknownNode(id)
+            .to_string()
+            .contains("unknown"));
         assert!(NetworkError::LookupFailed { hops: 9 }
             .to_string()
             .contains('9'));
@@ -751,7 +768,8 @@ mod error_tests {
 
     #[test]
     fn join_through_dead_contact_errors() {
-        let mut rng = rand::thread_rng();
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x0dead);
         let mut net = Network::bootstrap(NetConfig::default(), 4, &mut rng);
         let ghost = Id::from(1u64);
         assert!(!net.contains(ghost));

@@ -182,7 +182,7 @@ mod tests {
         n.successors = vec![id(10)];
         n.fingers[3] = Some(id(8)); // id+8
         n.fingers[6] = Some(id(64)); // id+64
-        // Routing toward 100: the 64-finger precedes it and beats 8.
+                                     // Routing toward 100: the 64-finger precedes it and beats 8.
         assert_eq!(n.closest_preceding(id(100)), Some(id(64)));
         // Routing toward 50: 64 is past it, so the 8-finger wins.
         assert_eq!(n.closest_preceding(id(50)), Some(id(8)));

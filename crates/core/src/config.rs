@@ -81,13 +81,14 @@ pub enum WorkMeasurement {
 }
 
 /// How nodes enter and leave the network over time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ChurnModel {
     /// The paper's model: memoryless per-tick coin flips at `churn_rate`
     /// for both leaving and joining ("we assume churn is constant
     /// throughout the experiment and that the joining and leaving rates
     /// are equal", §V-B).
+    #[default]
     Bernoulli,
     /// Session-based churn: geometric on/off session lengths with the
     /// given mean durations in ticks. Measured P2P session behavior is
@@ -101,12 +102,6 @@ pub enum ChurnModel {
         /// Mean ticks a node waits before rejoining (>= 1).
         mean_downtime: f64,
     },
-}
-
-impl Default for ChurnModel {
-    fn default() -> ChurnModel {
-        ChurnModel::Bernoulli
-    }
 }
 
 /// Full configuration of one simulation run.
@@ -294,7 +289,11 @@ impl SimConfig {
         if self.overload_factor <= 0.0 {
             return Err("overload_factor must be positive".into());
         }
-        if let ChurnModel::Sessions { mean_uptime, mean_downtime } = self.churn_model {
+        if let ChurnModel::Sessions {
+            mean_uptime,
+            mean_downtime,
+        } = self.churn_model
+        {
             if mean_uptime < 1.0 || mean_downtime < 1.0 {
                 return Err("session means must be at least one tick".into());
             }
@@ -369,11 +368,26 @@ mod tests {
     #[test]
     fn validation_rejects_bad_configs() {
         let bad = [
-            SimConfig { nodes: 0, ..SimConfig::default() },
-            SimConfig { churn_rate: 1.5, ..SimConfig::default() },
-            SimConfig { check_interval: 0, ..SimConfig::default() },
-            SimConfig { num_successors: 0, ..SimConfig::default() },
-            SimConfig { overload_factor: 0.0, ..SimConfig::default() },
+            SimConfig {
+                nodes: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                churn_rate: 1.5,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                check_interval: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                num_successors: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                overload_factor: 0.0,
+                ..SimConfig::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?} should be invalid");

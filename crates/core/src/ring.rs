@@ -196,7 +196,13 @@ impl Ring {
             return Err(RingError::Occupied(id));
         }
         if self.map.is_empty() {
-            self.map.insert(id, VNode { owner, tasks: Vec::new() });
+            self.map.insert(
+                id,
+                VNode {
+                    owner,
+                    tasks: Vec::new(),
+                },
+            );
             return Ok(0);
         }
         let succ_id = self.owner_of_key(id).expect("non-empty ring");
@@ -462,7 +468,10 @@ mod tests {
     #[test]
     fn insert_occupied_position_errors() {
         let mut r = ring_with(&[100]);
-        assert_eq!(r.insert_vnode(id(100), 1), Err(RingError::Occupied(id(100))));
+        assert_eq!(
+            r.insert_vnode(id(100), 1),
+            Err(RingError::Occupied(id(100)))
+        );
     }
 
     #[test]
@@ -613,7 +622,9 @@ mod error_tests {
     fn ring_error_display() {
         let id = Id::from(5u64);
         assert!(RingError::Occupied(id).to_string().contains("occupied"));
-        assert!(RingError::Unknown(id).to_string().contains("no virtual node"));
+        assert!(RingError::Unknown(id)
+            .to_string()
+            .contains("no virtual node"));
         assert!(RingError::LastVNode.to_string().contains("last"));
     }
 

@@ -1,11 +1,16 @@
 //! The tick-driven simulation engine (§V "Simulation Setup").
 
-use crate::config::{Heterogeneity, SimConfig, StrategyKind, WorkMeasurement};
+use crate::config::{Heterogeneity, SimConfig, WorkMeasurement};
 use crate::metrics::{RunResult, SimMessageStats, Snapshot, TickSeries};
-use crate::trace::{EventLog, SimEvent};
 use crate::ring::{Ring, RingError};
+use crate::strategy::{
+    invitation::{pick_helper, HelperCandidate},
+    Actions, ChurnOps, InviteOutcome, LocalView, OracleView, Strategy, StrategyParams,
+    StrategyStack, Substrate,
+};
+use crate::trace::{EventLog, SimEvent};
 use crate::worker::{Worker, WorkerId, WorkerState};
-use autobal_id::Id;
+use autobal_id::{ring, Id};
 use autobal_stats::rng::{domains, substream, DetRng};
 use rand::Rng;
 
@@ -31,6 +36,9 @@ pub struct Sim {
     peak_vnodes: usize,
     series: TickSeries,
     pub(crate) events: EventLog,
+    /// Strategy layers dispatched each tick/check (trait objects from
+    /// [`crate::strategy::stack_for`]).
+    strategies: StrategyStack,
 }
 
 impl Sim {
@@ -122,6 +130,7 @@ impl Sim {
         let active_count = cfg.nodes;
         let peak = ring.len();
         let cfg_record_events = cfg.record_events;
+        let strategies = crate::strategy::stack_for(&cfg);
         Sim {
             cfg,
             ring,
@@ -137,6 +146,7 @@ impl Sim {
             peak_vnodes: peak,
             series: TickSeries::default(),
             events: EventLog::new(cfg_record_events),
+            strategies,
         }
     }
 
@@ -189,23 +199,18 @@ impl Sim {
     pub fn step(&mut self) -> u64 {
         self.tick += 1;
 
-        // 1. Churn happens every tick whenever a rate is configured —
-        //    as the Churn strategy itself, or as background turbulence
-        //    under another strategy (§VI-B-1).
-        if self.cfg.churn_enabled() {
-            self.churn_tick();
-        }
-        // 2. Sybil strategies check every `check_interval` ticks.
+        // Dispatch through the strategy stack (taken out and restored
+        // around the calls so the layers can borrow the simulator).
+        let stack = std::mem::take(&mut self.strategies);
+        // 1. Churn layers fire every tick — as the Churn strategy
+        //    itself, or as background turbulence under another strategy
+        //    (§VI-B-1).
+        stack.on_tick(self);
+        // 2. Sybil layers check every `check_interval` ticks.
         if self.tick.is_multiple_of(self.cfg.check_interval) {
-            match self.cfg.strategy {
-                StrategyKind::None | StrategyKind::Churn => {}
-                StrategyKind::RandomInjection => crate::strategy::random::act(self),
-                StrategyKind::NeighborInjection => crate::strategy::neighbor::act(self, false),
-                StrategyKind::SmartNeighbor => crate::strategy::neighbor::act(self, true),
-                StrategyKind::Invitation => crate::strategy::invitation::act(self),
-                StrategyKind::CentralizedOracle => crate::strategy::oracle::act(self),
-            }
+            stack.on_check(self);
         }
+        self.strategies = stack;
 
         // 3. Every active worker consumes up to its capacity.
         let strength_based = self.cfg.work_measurement == WorkMeasurement::StrengthPerTick;
@@ -299,37 +304,6 @@ impl Sim {
     }
 
     // ---- churn ----------------------------------------------------
-
-    /// One tick of churn: active nodes leave with probability
-    /// `churn_rate`, waiting nodes join with the same probability
-    /// (§IV-A).
-    fn churn_tick(&mut self) {
-        let leave_p = self.cfg.leave_probability();
-        let join_p = self.cfg.join_probability();
-        // Leaves.
-        let candidates: Vec<WorkerId> = (0..self.workers.len())
-            .filter(|&i| self.workers[i].is_active())
-            .collect();
-        for idx in candidates {
-            if self.active_count <= 1 {
-                break;
-            }
-            if self.rng_churn.gen::<f64>() <= leave_p {
-                self.worker_leave(idx);
-            }
-        }
-        // Joins.
-        let mut still_waiting = Vec::with_capacity(self.waiting.len());
-        let waiting = std::mem::take(&mut self.waiting);
-        for idx in waiting {
-            if self.rng_churn.gen::<f64>() <= join_p {
-                self.worker_join(idx);
-            } else {
-                still_waiting.push(idx);
-            }
-        }
-        self.waiting = still_waiting;
-    }
 
     /// A worker leaves the network: every virtual node it controls is
     /// removed (tasks merge into successors), and it enters the waiting
@@ -467,12 +441,269 @@ impl Sim {
         }
     }
 
+    /// Whether `idx` is eligible to create a new Sybil right now:
+    /// active, at/below the Sybil threshold, with budget to spare.
+    fn worker_can_spawn_sybil(&self, idx: WorkerId) -> bool {
+        let het = self.cfg.heterogeneity == Heterogeneity::Heterogeneous;
+        let w = &self.workers[idx];
+        w.is_active()
+            && w.load <= self.cfg.sybil_threshold
+            && w.sybil_slots_left(self.cfg.max_sybils, het) > 0
+    }
+
+    /// Where to plant a Sybil that targets `victim`'s arc: the ID-space
+    /// midpoint of the arc by default, or — under the §VII chosen-ID
+    /// extension — the victim's remaining-task median, which guarantees
+    /// the Sybil acquires exactly half its work.
+    fn split_position(&self, victim: Id) -> Option<Id> {
+        if self.cfg.chosen_ids {
+            if let Some(m) = self.ring.median_task_key(victim) {
+                return Some(m);
+            }
+        }
+        let pred = self.ring.predecessor_of(victim)?;
+        Some(ring::midpoint(pred, victim))
+    }
+
+    /// The per-node strategy context for `worker` (oracle-ring flavor).
+    pub(crate) fn node_ctx(&mut self, worker: WorkerId) -> SimNodeCtx<'_> {
+        SimNodeCtx { sim: self, worker }
+    }
+
     /// Debug helper: verify load caches against the ring (O(vnodes)).
     #[cfg(test)]
     pub(crate) fn assert_load_caches(&self) {
         let truth = self.ring.loads_by_owner(self.workers.len());
         for (i, w) in self.workers.iter().enumerate() {
             assert_eq!(w.load, truth[i], "load cache of worker {i}");
+        }
+    }
+}
+
+// ---- strategy dispatch surfaces -----------------------------------
+
+impl Substrate for Sim {
+    fn decision_order(&self) -> Vec<WorkerId> {
+        (0..self.workers.len())
+            .filter(|&i| self.workers[i].is_active())
+            .collect()
+    }
+
+    fn check_worker(&mut self, w: WorkerId, strategy: &dyn Strategy) {
+        let mut ctx = self.node_ctx(w);
+        strategy.check_node(&mut ctx);
+    }
+
+    fn check_omniscient(&mut self, strategy: &dyn Strategy) -> bool {
+        strategy.check_global(self);
+        true
+    }
+
+    fn churn_ops(&mut self) -> &mut dyn ChurnOps {
+        self
+    }
+}
+
+impl ChurnOps for Sim {
+    fn leave_candidates(&self) -> Vec<WorkerId> {
+        (0..self.workers.len())
+            .filter(|&i| self.workers[i].is_active())
+            .collect()
+    }
+
+    fn active_count(&self) -> usize {
+        self.active_count
+    }
+
+    fn flip(&mut self, p: f64) -> bool {
+        self.rng_churn.gen::<f64>() <= p
+    }
+
+    fn depart(&mut self, w: WorkerId) {
+        self.worker_leave(w);
+    }
+
+    fn take_waiting(&mut self) -> Vec<WorkerId> {
+        std::mem::take(&mut self.waiting)
+    }
+
+    fn requeue_waiting(&mut self, w: WorkerId) {
+        self.waiting.push(w);
+    }
+
+    fn rejoin(&mut self, w: WorkerId) {
+        self.worker_join(w);
+    }
+}
+
+impl OracleView for Sim {
+    fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn is_worker_active(&self, w: WorkerId) -> bool {
+        self.workers[w].is_active()
+    }
+
+    fn worker_load(&self, w: WorkerId) -> u64 {
+        self.workers[w].load
+    }
+
+    fn worker_can_spawn(&self, w: WorkerId) -> bool {
+        self.worker_can_spawn_sybil(w)
+    }
+
+    fn vnode_loads(&self) -> Vec<(Id, u64)> {
+        self.ring
+            .iter()
+            .map(|(id, v)| (*id, v.tasks.len() as u64))
+            .collect()
+    }
+
+    fn vnode_load(&self, v: Id) -> u64 {
+        self.ring.load(v)
+    }
+
+    fn median_task_key(&self, v: Id) -> Option<Id> {
+        self.ring.median_task_key(v)
+    }
+
+    fn spawn_sybil_for(&mut self, w: WorkerId, pos: Id) -> Option<u64> {
+        self.create_sybil(w, pos)
+    }
+}
+
+/// The [`LocalView`]/[`Actions`] pair over the oracle-ring simulator —
+/// one worker's honest window onto [`Sim`] state. Everything a strategy
+/// can reach through this context is either the worker's own state, its
+/// Chord neighbor lists, or a priced message (`query_load`, `invite`).
+pub(crate) struct SimNodeCtx<'a> {
+    sim: &'a mut Sim,
+    worker: WorkerId,
+}
+
+impl LocalView for SimNodeCtx<'_> {
+    fn params(&self) -> StrategyParams {
+        let cfg = &self.sim.cfg;
+        StrategyParams {
+            sybil_threshold: cfg.sybil_threshold,
+            overload_threshold: cfg.overload_threshold(),
+            num_neighbors: cfg.num_successors,
+            chosen_ids: cfg.chosen_ids,
+            strength_aware_invitation: cfg.strength_aware_invitation,
+        }
+    }
+
+    fn load(&self) -> u64 {
+        self.sim.workers[self.worker].load
+    }
+
+    fn sybil_count(&self) -> usize {
+        self.sim.workers[self.worker].sybils.len()
+    }
+
+    fn sybil_slots_left(&self) -> u32 {
+        let het = self.sim.cfg.heterogeneity == Heterogeneity::Heterogeneous;
+        self.sim.workers[self.worker].sybil_slots_left(self.sim.cfg.max_sybils, het)
+    }
+
+    fn primary(&self) -> Id {
+        self.sim.workers[self.worker].primary
+    }
+
+    fn own_vnode_loads(&self) -> Vec<(Id, u64)> {
+        self.sim.workers[self.worker]
+            .vnodes()
+            .map(|v| (v, self.sim.ring.load(v)))
+            .collect()
+    }
+
+    fn successor_list(&self) -> Vec<Id> {
+        let primary = self.sim.workers[self.worker].primary;
+        self.sim
+            .ring
+            .successors(primary, self.sim.cfg.num_successors)
+    }
+}
+
+impl Actions for SimNodeCtx<'_> {
+    fn query_load(&mut self, neighbor: Id) -> u64 {
+        self.sim.msgs.load_queries += 1;
+        self.sim.ring.load(neighbor)
+    }
+
+    fn random_id(&mut self) -> Id {
+        Id::random(&mut self.sim.rng_strategy)
+    }
+
+    fn spawn_sybil(&mut self, pos: Id) -> Option<u64> {
+        self.sim.create_sybil(self.worker, pos)
+    }
+
+    fn retire_sybils(&mut self) {
+        self.sim.retire_sybils(self.worker);
+    }
+
+    fn split_target(&mut self, victim: Id) -> Option<Id> {
+        self.sim.split_position(victim)
+    }
+
+    fn invite(&mut self, hot: Id) -> InviteOutcome {
+        let sim = &mut *self.sim;
+        let inviter = self.worker;
+        let preds = sim.ring.predecessors(hot, sim.cfg.num_successors);
+        if preds.is_empty() {
+            return InviteOutcome::NoNeighbors;
+        }
+        sim.msgs.invitations_sent += 1;
+        let tick = sim.tick;
+        sim.events.push(SimEvent::InvitationSent {
+            tick,
+            worker: inviter,
+        });
+        // Offer the eligible predecessors in list order; an unmapped
+        // vnode (impossible on a consistent ring) voids the whole round.
+        let candidates: Option<Vec<HelperCandidate>> = preds
+            .iter()
+            .map(|&p| sim.ring.vnode(p).map(|v| v.owner))
+            .collect::<Option<Vec<WorkerId>>>()
+            .map(|owners| {
+                owners
+                    .into_iter()
+                    .filter(|&o| o != inviter && sim.worker_can_spawn_sybil(o))
+                    .map(|o| HelperCandidate {
+                        worker: o,
+                        strength: sim.workers[o].strength,
+                        load: sim.workers[o].load,
+                    })
+                    .collect()
+            });
+        let helper = candidates
+            .as_deref()
+            .and_then(|c| pick_helper(c, sim.cfg.strength_aware_invitation));
+        match helper {
+            Some(helper) => {
+                let pos = sim.split_position(hot).expect("ring non-trivial");
+                match sim.create_sybil(helper, pos) {
+                    Some(acquired) => InviteOutcome::Helped { acquired },
+                    None => {
+                        sim.msgs.invitations_refused += 1;
+                        sim.events.push(SimEvent::InvitationRefused {
+                            tick,
+                            worker: inviter,
+                        });
+                        InviteOutcome::Refused
+                    }
+                }
+            }
+            None => {
+                sim.msgs.invitations_refused += 1;
+                sim.events.push(SimEvent::InvitationRefused {
+                    tick,
+                    worker: inviter,
+                });
+                InviteOutcome::Refused
+            }
         }
     }
 }
@@ -493,6 +724,7 @@ fn unique_random_ids(n: usize, rng: &mut DetRng) -> Vec<Id> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::StrategyKind;
 
     fn small_cfg(strategy: StrategyKind) -> SimConfig {
         SimConfig {
@@ -651,6 +883,7 @@ mod tests {
 #[cfg(test)]
 mod series_tests {
     use super::*;
+    use crate::config::StrategyKind;
 
     #[test]
     fn series_disabled_by_default() {
@@ -720,6 +953,7 @@ mod series_tests {
 #[cfg(test)]
 mod trace_tests {
     use super::*;
+    use crate::config::StrategyKind;
     use crate::trace::SimEvent;
 
     #[test]

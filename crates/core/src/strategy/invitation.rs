@@ -11,89 +11,75 @@
 //! nodes decide "using the sybilThreshold parameter" without a formula;
 //! since nodes know the job size (§V), the ideal mean is locally
 //! computable — see DESIGN.md for this substitution.
+//!
+//! The strategy itself only decides *when* to call for help and from
+//! which of its vnodes; delivering the announcement, filtering eligible
+//! predecessors, and performing the helper's join are substrate work
+//! behind [`Actions::invite`]. The helper-selection rule both
+//! substrates share is [`pick_helper`].
 
-use crate::sim::Sim;
+use super::{NodeContext, Strategy};
 use crate::worker::WorkerId;
 
-/// Runs one invitation round over all workers.
-pub(crate) fn act(sim: &mut Sim) {
-    let overload = sim.cfg.overload_threshold();
-    let k = sim.cfg.num_successors;
-    for idx in 0..sim.workers.len() {
-        if !sim.workers[idx].is_active() {
-            continue;
-        }
-        if sim.workers[idx].load <= overload {
-            continue;
+/// The invitation strategy, substrate-agnostic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Invitation;
+
+impl Strategy for Invitation {
+    fn name(&self) -> &'static str {
+        "invitation"
+    }
+
+    fn check_node(&self, ctx: &mut dyn NodeContext) {
+        if ctx.load() <= ctx.params().overload_threshold {
+            return;
         }
         // The inviter's hottest virtual node is where help is needed.
-        let hot = match sim.workers[idx]
-            .vnodes()
-            .max_by_key(|&v| sim.ring.load(v))
-        {
-            Some(v) if sim.ring.load(v) > 0 => v,
-            _ => continue,
-        };
-        let preds = sim.ring.predecessors(hot, k);
-        if preds.is_empty() {
-            continue;
+        // Ties go to the later vnode (matching `Iterator::max_by_key`).
+        let mut hot: Option<(autobal_id::Id, u64)> = None;
+        for (v, l) in ctx.own_vnode_loads() {
+            if hot.is_none_or(|(_, bl)| l >= bl) {
+                hot = Some((v, l));
+            }
         }
-        sim.msgs.invitations_sent += 1;
-        let tick = sim.tick();
-        sim.events
-            .push(crate::trace::SimEvent::InvitationSent { tick, worker: idx });
-        match pick_helper(sim, idx, &preds) {
-            Some(helper) => {
-                let pos = super::split_position(sim, hot).expect("ring non-trivial");
-                if sim.create_sybil(helper, pos).is_none() {
-                    sim.msgs.invitations_refused += 1;
-                    sim.events.push(crate::trace::SimEvent::InvitationRefused {
-                        tick,
-                        worker: idx,
-                    });
-                }
+        match hot {
+            Some((v, l)) if l > 0 => {
+                let _ = ctx.invite(v);
             }
-            None => {
-                sim.msgs.invitations_refused += 1;
-                sim.events.push(crate::trace::SimEvent::InvitationRefused {
-                    tick,
-                    worker: idx,
-                });
-            }
+            _ => {}
         }
     }
 }
 
-/// Selects the helping predecessor among eligible workers (load ≤
-/// sybilThreshold, budget remaining, not the inviter). The paper's rule
-/// is least-loaded-first; the §VII strength-aware extension prefers the
-/// *strongest* eligible helper (ties broken by least load) so work
-/// migrates toward capable machines.
-fn pick_helper(sim: &Sim, inviter: WorkerId, preds: &[autobal_id::Id]) -> Option<WorkerId> {
-    let strength_first = sim.cfg.strength_aware_invitation;
+/// One predecessor a substrate offers as a potential helper, already
+/// filtered for eligibility (active, load ≤ sybilThreshold, Sybil
+/// budget left, not the inviter), in predecessor-list order.
+#[derive(Debug, Clone, Copy)]
+pub struct HelperCandidate {
+    pub worker: WorkerId,
+    pub strength: u32,
+    pub load: u64,
+}
+
+/// Selects the helping predecessor among eligible candidates. The
+/// paper's rule is least-loaded-first; the §VII strength-aware
+/// extension prefers the *strongest* eligible helper (ties broken by
+/// least load) so work migrates toward capable machines.
+pub fn pick_helper(candidates: &[HelperCandidate], strength_first: bool) -> Option<WorkerId> {
     let mut best: Option<(WorkerId, u32, u64)> = None;
-    for &p in preds {
-        let owner = sim.ring.vnode(p)?.owner;
-        if owner == inviter {
-            continue;
-        }
-        if !super::can_spawn_sybil(sim, owner) {
-            continue;
-        }
-        let load = sim.workers[owner].load;
-        let strength = sim.workers[owner].strength;
+    for c in candidates {
         let better = match best {
             None => true,
             Some((_, bs, bl)) => {
                 if strength_first {
-                    strength > bs || (strength == bs && load < bl)
+                    c.strength > bs || (c.strength == bs && c.load < bl)
                 } else {
-                    load < bl
+                    c.load < bl
                 }
             }
         };
         if better {
-            best = Some((owner, strength, load));
+            best = Some((c.worker, c.strength, c.load));
         }
     }
     best.map(|(w, _, _)| w)
@@ -101,6 +87,7 @@ fn pick_helper(sim: &Sim, inviter: WorkerId, preds: &[autobal_id::Id]) -> Option
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::config::{SimConfig, StrategyKind};
     use crate::sim::Sim;
 
@@ -186,6 +173,31 @@ mod tests {
         .run();
         assert!(noisy.messages.invitations_sent > 0);
         assert!(noisy.messages.invitations_refused > 0);
+    }
+
+    #[test]
+    fn picks_least_loaded_helper() {
+        let cands = [
+            HelperCandidate {
+                worker: 1,
+                strength: 1,
+                load: 5,
+            },
+            HelperCandidate {
+                worker: 2,
+                strength: 3,
+                load: 2,
+            },
+            HelperCandidate {
+                worker: 3,
+                strength: 5,
+                load: 4,
+            },
+        ];
+        assert_eq!(pick_helper(&cands, false), Some(2));
+        // Strength-aware prefers the strongest even if busier.
+        assert_eq!(pick_helper(&cands, true), Some(3));
+        assert_eq!(pick_helper(&[], false), None);
     }
 
     #[test]

@@ -1,10 +1,35 @@
 //! The four autonomous load-balancing strategies of §IV (plus the smart
-//! neighbor-injection variant of §VI-C).
+//! neighbor-injection variant of §VI-C), written against a
+//! substrate-agnostic trait so the *same* strategy code runs on both the
+//! oracle ring ([`crate::sim::Sim`]) and a real Chord protocol stack.
 //!
-//! Induced churn is implemented inside the simulator's tick loop (it
-//! fires every tick, not on the 5-tick check cadence); the Sybil-based
-//! strategies live here. Each strategy is a free function over the
-//! simulator state, invoked on check ticks.
+//! # Architecture
+//!
+//! A [`Strategy`] never touches simulator state directly. It sees the
+//! world through a [`NodeContext`] — the pairing of [`LocalView`] (what
+//! the paper grants a node: its own load, Sybil budget, and successor
+//! list) and [`Actions`] (what a node can do: query a neighbor's load,
+//! spawn or retire Sybils, invite help). Each substrate implements the
+//! context over its own data structures and pays for information
+//! honestly: `query_load` costs one `LoadQuery` message on *both*
+//! substrates, and `invite` one `Invitation`.
+//!
+//! Three scopes of strategy exist ([`StrategyScope`]):
+//!
+//! * **TickOnly** — [`churn::BackgroundChurn`] fires every tick through
+//!   [`ChurnOps`], not on the check cadence.
+//! * **PerNode** — the paper's Sybil strategies; each active worker gets
+//!   a [`Strategy::check_node`] call every `check_interval` ticks.
+//! * **Omniscient** — the centralized comparator, which legitimately
+//!   sees everything via [`OracleView`]. Only the oracle-ring substrate
+//!   provides that view; a real network cannot.
+//!
+//! [`StrategyStack`] composes layers (background churn under any Sybil
+//! strategy) and [`stack_for`] builds the stack a [`SimConfig`] asks
+//! for. The [`Substrate`] trait is the dispatch surface each engine
+//! implements; control is inverted — the substrate builds its concrete
+//! context and hands it to the strategy as `&mut dyn NodeContext` — so
+//! substrates need no generics and strategies stay object-safe.
 //!
 //! Random injection additionally applies the §IV-B housekeeping rule —
 //! *"if a node has at least one Sybil, but no work, it has its Sybils
@@ -15,60 +40,289 @@
 //! nodes getting permanently stuck once their Sybil budget is spent;
 //! we reproduce that behavior.
 
+pub mod churn;
 pub mod invitation;
 pub mod neighbor;
 pub mod oracle;
 pub mod random;
 
-use crate::config::Heterogeneity;
-use crate::sim::Sim;
+use crate::config::{SimConfig, StrategyKind};
 use crate::worker::WorkerId;
-use autobal_id::{ring, Id};
+use autobal_id::Id;
 
-/// Applies the "idle with Sybils → Sybils quit" rule. Returns `true` if
-/// the worker retired Sybils this check (it then takes no further action
-/// until the next check).
-pub(crate) fn retire_if_idle(sim: &mut Sim, idx: WorkerId) -> bool {
-    let w = &sim.workers[idx];
-    if w.load == 0 && !w.sybils.is_empty() {
-        sim.retire_sybils(idx);
+/// The strategy-relevant configuration every node knows (§V: nodes are
+/// told the job parameters at start-up).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyParams {
+    /// A node at or below this load may volunteer a Sybil (§IV-B).
+    pub sybil_threshold: u64,
+    /// A node above this load calls for help (§IV-D).
+    pub overload_threshold: u64,
+    /// How many successors/predecessors a node tracks (§IV-C/§IV-D).
+    pub num_neighbors: usize,
+    /// §VII chosen-ID extension: split at the victim's task median.
+    pub chosen_ids: bool,
+    /// §VII extension: prefer the strongest eligible helper.
+    pub strength_aware_invitation: bool,
+}
+
+/// What a node can *see* without spending messages: its own state plus
+/// the neighbor lists Chord maintains anyway.
+pub trait LocalView {
+    /// Job parameters known network-wide.
+    fn params(&self) -> StrategyParams;
+    /// This worker's total remaining tasks across all its vnodes.
+    fn load(&self) -> u64;
+    /// Live Sybils this worker currently controls.
+    fn sybil_count(&self) -> usize;
+    /// Sybil budget still unspent.
+    fn sybil_slots_left(&self) -> u32;
+    /// Ring position of the worker's primary virtual node.
+    fn primary(&self) -> Id;
+    /// The worker's own vnode positions with their (self-known) loads:
+    /// primary first, then static virtual servers, then Sybils.
+    fn own_vnode_loads(&self) -> Vec<(Id, u64)>;
+    /// The primary's successor list, nearest first (free: Chord state).
+    fn successor_list(&self) -> Vec<Id>;
+}
+
+/// What a node can *do* — every observable query is charged to the
+/// substrate's message counters.
+pub trait Actions {
+    /// Asks `neighbor` for its remaining task count. Costs one
+    /// `LoadQuery` message.
+    fn query_load(&mut self, neighbor: Id) -> u64;
+    /// Draws a uniformly random ring address from the strategy stream.
+    fn random_id(&mut self) -> Id;
+    /// Joins a Sybil of this worker at `pos`; `Some(acquired_tasks)` on
+    /// success, `None` if the position is taken (or the join fails).
+    fn spawn_sybil(&mut self, pos: Id) -> Option<u64>;
+    /// All of this worker's Sybils quit the network.
+    fn retire_sybils(&mut self);
+    /// Where a Sybil targeting `victim`'s arc should land: the ID-space
+    /// midpoint of the arc, or the victim's remaining-task median under
+    /// the chosen-ID extension (when the substrate can compute it).
+    fn split_target(&mut self, victim: Id) -> Option<Id>;
+    /// Announces overload from own vnode `hot` to its predecessor list
+    /// (§IV-D). The substrate selects the helper via
+    /// [`invitation::pick_helper`] and performs the Sybil join. Costs
+    /// one `Invitation` message unless no predecessor exists.
+    fn invite(&mut self, hot: Id) -> InviteOutcome;
+}
+
+/// Result of an [`Actions::invite`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InviteOutcome {
+    /// The vnode has no predecessors to ask (degenerate ring); no
+    /// invitation was sent or counted.
+    NoNeighbors,
+    /// The invitation was sent but no helper qualified (or the helper's
+    /// join failed); counted as refused.
+    Refused,
+    /// A helper split the inviter's arc and took `acquired` tasks.
+    Helped { acquired: u64 },
+}
+
+/// The full per-node decision surface a substrate hands a strategy.
+pub trait NodeContext: LocalView + Actions {}
+impl<T: LocalView + Actions + ?Sized> NodeContext for T {}
+
+/// Population-churn surface (§IV-A), exercised once per tick by
+/// [`churn::BackgroundChurn`]. Methods mirror the simulator's original
+/// churn loop exactly, RNG draw for RNG draw.
+pub trait ChurnOps {
+    /// Active workers eligible to leave this tick, in decision order.
+    fn leave_candidates(&self) -> Vec<WorkerId>;
+    /// Current active population.
+    fn active_count(&self) -> usize;
+    /// One Bernoulli trial against the churn RNG stream.
+    fn flip(&mut self, p: f64) -> bool;
+    /// `w` departs: its vnodes dissolve and it enters the waiting pool.
+    fn depart(&mut self, w: WorkerId);
+    /// Drains the waiting pool for this tick's join trials.
+    fn take_waiting(&mut self) -> Vec<WorkerId>;
+    /// Returns a non-joiner to the waiting pool.
+    fn requeue_waiting(&mut self, w: WorkerId);
+    /// `w` rejoins at a fresh random position, acquiring its arc's work.
+    fn rejoin(&mut self, w: WorkerId);
+}
+
+/// The global view only a centralized coordinator has. Deliberately
+/// *not* implementable on a real network — that asymmetry is the point
+/// of the comparator.
+pub trait OracleView {
+    /// Total worker-table size (active and waiting).
+    fn worker_count(&self) -> usize;
+    fn is_worker_active(&self, w: WorkerId) -> bool;
+    fn worker_load(&self, w: WorkerId) -> u64;
+    /// Whether `w` may spawn a Sybil right now (active, under the
+    /// threshold, budget left).
+    fn worker_can_spawn(&self, w: WorkerId) -> bool;
+    /// Every vnode's load, in ring order.
+    fn vnode_loads(&self) -> Vec<(Id, u64)>;
+    /// Live load of one vnode.
+    fn vnode_load(&self, v: Id) -> u64;
+    /// The median remaining-task key of `v`'s arc.
+    fn median_task_key(&self, v: Id) -> Option<Id>;
+    /// Forces worker `w` to spawn a Sybil at `pos`.
+    fn spawn_sybil_for(&mut self, w: WorkerId, pos: Id) -> Option<u64>;
+}
+
+/// When and how a strategy layer is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyScope {
+    /// Runs every tick via [`Strategy::on_tick`] (churn).
+    TickOnly,
+    /// Runs per active worker on check ticks via
+    /// [`Strategy::check_node`].
+    PerNode,
+    /// Runs once per check tick with the global view via
+    /// [`Strategy::check_global`] (oracle-ring substrate only).
+    Omniscient,
+}
+
+/// One load-balancing behavior, independent of the substrate it runs on.
+pub trait Strategy: Send + Sync {
+    /// Short label for traces and registries.
+    fn name(&self) -> &'static str;
+    /// Dispatch scope; defaults to per-node checks.
+    fn scope(&self) -> StrategyScope {
+        StrategyScope::PerNode
+    }
+    /// Called every tick, before any check (population churn).
+    fn on_tick(&self, _ops: &mut dyn ChurnOps) {}
+    /// Called per active worker on check ticks.
+    fn check_node(&self, _ctx: &mut dyn NodeContext) {}
+    /// Called once per check tick on substrates that can provide
+    /// omniscience.
+    fn check_global(&self, _view: &mut dyn OracleView) {}
+}
+
+/// The dispatch surface an execution engine implements. Control is
+/// inverted: the substrate constructs its concrete node context
+/// internally and passes it to the strategy, so implementations need no
+/// associated types.
+pub trait Substrate {
+    /// Active workers in decision order (the order the original
+    /// simulator iterated them: worker-table order, inactive skipped).
+    fn decision_order(&self) -> Vec<WorkerId>;
+    /// Runs `strategy.check_node` with `w`'s local context.
+    fn check_worker(&mut self, w: WorkerId, strategy: &dyn Strategy);
+    /// Runs `strategy.check_global` with the omniscient view, if this
+    /// substrate has one. Returns `false` when it cannot.
+    fn check_omniscient(&mut self, strategy: &dyn Strategy) -> bool;
+    /// The substrate's churn surface.
+    fn churn_ops(&mut self) -> &mut dyn ChurnOps;
+}
+
+/// An ordered composition of strategy layers — e.g. background churn
+/// underneath random injection (§VI-B-1's "churn as turbulence").
+#[derive(Default)]
+pub struct StrategyStack {
+    layers: Vec<Box<dyn Strategy>>,
+}
+
+impl StrategyStack {
+    pub fn new() -> StrategyStack {
+        StrategyStack::default()
+    }
+
+    pub fn push(&mut self, layer: Box<dyn Strategy>) {
+        self.layers.push(layer);
+    }
+
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer labels in dispatch order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Runs the every-tick phase (churn layers).
+    pub fn on_tick(&self, sub: &mut dyn Substrate) {
+        for layer in &self.layers {
+            if layer.scope() == StrategyScope::TickOnly {
+                layer.on_tick(sub.churn_ops());
+            }
+        }
+    }
+
+    /// Runs the check-cadence phase (Sybil layers).
+    pub fn on_check(&self, sub: &mut dyn Substrate) {
+        for layer in &self.layers {
+            match layer.scope() {
+                StrategyScope::TickOnly => {}
+                StrategyScope::PerNode => {
+                    for w in sub.decision_order() {
+                        sub.check_worker(w, layer.as_ref());
+                    }
+                }
+                StrategyScope::Omniscient => {
+                    let _ = sub.check_omniscient(layer.as_ref());
+                }
+            }
+        }
+    }
+}
+
+/// The strategy object for a [`StrategyKind`], if the kind does any
+/// balancing beyond churn.
+pub fn strategy_for(kind: StrategyKind) -> Option<Box<dyn Strategy>> {
+    match kind {
+        StrategyKind::None | StrategyKind::Churn => None,
+        StrategyKind::RandomInjection => Some(Box::new(random::RandomInjection)),
+        StrategyKind::NeighborInjection => Some(Box::new(neighbor::NeighborInjection::plain())),
+        StrategyKind::SmartNeighbor => Some(Box::new(neighbor::NeighborInjection::smart())),
+        StrategyKind::Invitation => Some(Box::new(invitation::Invitation)),
+        StrategyKind::CentralizedOracle => Some(Box::new(oracle::CentralizedOracle)),
+    }
+}
+
+/// Builds the layer stack a configuration asks for: background churn
+/// first (whenever a churn rate or session model is set), then the
+/// configured Sybil strategy.
+pub fn stack_for(cfg: &SimConfig) -> StrategyStack {
+    let mut stack = StrategyStack::new();
+    if cfg.churn_enabled() {
+        stack.push(Box::new(churn::BackgroundChurn {
+            leave_p: cfg.leave_probability(),
+            join_p: cfg.join_probability(),
+        }));
+    }
+    if let Some(s) = strategy_for(cfg.strategy) {
+        stack.push(s);
+    }
+    stack
+}
+
+/// Whether the node is eligible to create a new Sybil right now:
+/// at/below the Sybil threshold with budget to spare (§IV-B).
+pub fn eligible_to_spawn(view: &dyn LocalView) -> bool {
+    view.load() <= view.params().sybil_threshold && view.sybil_slots_left() > 0
+}
+
+/// Applies the "idle with Sybils → Sybils quit" rule. Returns `true`
+/// if the node retired Sybils this check.
+pub fn retire_if_idle(ctx: &mut dyn NodeContext) -> bool {
+    if ctx.load() == 0 && ctx.sybil_count() > 0 {
+        ctx.retire_sybils();
         true
     } else {
         false
     }
 }
 
-/// Whether the worker is eligible to create a new Sybil right now:
-/// at/below the Sybil threshold with budget to spare.
-pub(crate) fn can_spawn_sybil(sim: &Sim, idx: WorkerId) -> bool {
-    let het = sim.cfg.heterogeneity == Heterogeneity::Heterogeneous;
-    let w = &sim.workers[idx];
-    w.is_active()
-        && w.load <= sim.cfg.sybil_threshold
-        && w.sybil_slots_left(sim.cfg.max_sybils, het) > 0
-}
-
-/// Where to plant a Sybil that targets `victim`'s arc: the ID-space
-/// midpoint of the arc by default, or — under the §VII chosen-ID
-/// extension — the victim's remaining-task median, which guarantees the
-/// Sybil acquires exactly half its work. Used by the strategies that
-/// know their victim (smart neighbor, invitation); the plain neighbor
-/// estimate never learns the victim's tasks, so it always uses the
-/// midpoint.
-pub(crate) fn split_position(sim: &Sim, victim: Id) -> Option<Id> {
-    if sim.cfg.chosen_ids {
-        if let Some(m) = sim.ring.median_task_key(victim) {
-            return Some(m);
-        }
-    }
-    let pred = sim.ring.predecessor_of(victim)?;
-    Some(ring::midpoint(pred, victim))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{SimConfig, StrategyKind};
+    use crate::sim::Sim;
 
     #[test]
     fn can_spawn_respects_threshold_and_budget() {
@@ -83,7 +337,7 @@ mod tests {
         // Freshly placed nodes almost surely all have work; find one with
         // load > 0: not eligible.
         let busy = (0..10).find(|&i| sim.workers()[i].load > 0).unwrap();
-        assert!(!can_spawn_sybil(&sim, busy));
+        assert!(!eligible_to_spawn(&sim.node_ctx(busy)));
         // Drain one worker to zero.
         let victim = busy;
         while sim.workers()[victim].load > 0 {
@@ -91,7 +345,7 @@ mod tests {
             sim.ring.pop_task(v);
             sim.workers[victim].load -= 1;
         }
-        assert!(can_spawn_sybil(&sim, victim));
+        assert!(eligible_to_spawn(&sim.node_ctx(victim)));
     }
 
     #[test]
@@ -103,8 +357,8 @@ mod tests {
             ..SimConfig::default()
         };
         let mut sim = Sim::new(cfg, 2);
-        assert!(!retire_if_idle(&mut sim, 0)); // has work, no sybils
-        // Give worker 0 a sybil and drain it completely.
+        assert!(!retire_if_idle(&mut sim.node_ctx(0))); // has work, no sybils
+                                                        // Give worker 0 a sybil and drain it completely.
         let pos = autobal_id::Id::from(12345u64);
         sim.create_sybil(0, pos).unwrap();
         while sim.workers()[0].load > 0 {
@@ -116,8 +370,71 @@ mod tests {
                 }
             }
         }
-        assert!(retire_if_idle(&mut sim, 0));
+        assert!(retire_if_idle(&mut sim.node_ctx(0)));
         assert!(sim.workers()[0].sybils.is_empty());
         assert_eq!(sim.messages().sybils_retired, 1);
+    }
+
+    #[test]
+    fn registry_builds_the_expected_stacks() {
+        let plain = stack_for(&SimConfig {
+            strategy: StrategyKind::None,
+            ..SimConfig::default()
+        });
+        assert!(plain.is_empty());
+
+        let churn_only = stack_for(&SimConfig {
+            strategy: StrategyKind::Churn,
+            churn_rate: 0.05,
+            ..SimConfig::default()
+        });
+        assert_eq!(churn_only.names(), ["churn"]);
+
+        let composed = stack_for(&SimConfig {
+            strategy: StrategyKind::SmartNeighbor,
+            churn_rate: 0.01,
+            ..SimConfig::default()
+        });
+        assert_eq!(composed.names(), ["churn", "smart-neighbor"]);
+    }
+
+    #[test]
+    fn every_kind_resolves_to_its_strategy() {
+        assert!(strategy_for(StrategyKind::None).is_none());
+        assert!(strategy_for(StrategyKind::Churn).is_none());
+        let named: Vec<&str> = [
+            StrategyKind::RandomInjection,
+            StrategyKind::NeighborInjection,
+            StrategyKind::SmartNeighbor,
+            StrategyKind::Invitation,
+            StrategyKind::CentralizedOracle,
+        ]
+        .into_iter()
+        .map(|k| strategy_for(k).unwrap().name())
+        .collect();
+        assert_eq!(
+            named,
+            [
+                "random-injection",
+                "neighbor-injection",
+                "smart-neighbor",
+                "invitation",
+                "centralized-oracle"
+            ]
+        );
+    }
+
+    #[test]
+    fn scopes_match_dispatch_expectations() {
+        assert_eq!(
+            churn::BackgroundChurn {
+                leave_p: 0.1,
+                join_p: 0.1
+            }
+            .scope(),
+            StrategyScope::TickOnly
+        );
+        assert_eq!(random::RandomInjection.scope(), StrategyScope::PerNode);
+        assert_eq!(oracle::CentralizedOracle.scope(), StrategyScope::Omniscient);
     }
 }

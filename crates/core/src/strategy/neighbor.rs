@@ -10,47 +10,64 @@
 //!   count (one `LoadQuery` each) and split the most-loaded successor's
 //!   range instead.
 
-use crate::sim::Sim;
+use super::{NodeContext, Strategy};
 use autobal_id::{ring, Id};
 
-/// Runs one neighbor-injection check over all workers.
-/// `smart` selects the load-querying variant.
-pub(crate) fn act(sim: &mut Sim, smart: bool) {
-    let k = sim.cfg.num_successors;
-    for idx in 0..sim.workers.len() {
-        if !sim.workers[idx].is_active() {
-            continue;
+/// Neighbor injection, substrate-agnostic. `smart` selects the
+/// load-querying variant.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborInjection {
+    pub smart: bool,
+}
+
+impl NeighborInjection {
+    pub fn plain() -> NeighborInjection {
+        NeighborInjection { smart: false }
+    }
+
+    pub fn smart() -> NeighborInjection {
+        NeighborInjection { smart: true }
+    }
+}
+
+impl Strategy for NeighborInjection {
+    fn name(&self) -> &'static str {
+        if self.smart {
+            "smart-neighbor"
+        } else {
+            "neighbor-injection"
         }
+    }
+
+    fn check_node(&self, ctx: &mut dyn NodeContext) {
         // Unlike random injection, the paper describes no Sybil-quitting
         // housekeeping here — a node whose five Sybils sit in dead
         // ranges is stuck, which is exactly the failure mode §VI-C
         // reports ("a loop of constantly checking the largest gap").
-        if !super::can_spawn_sybil(sim, idx) {
-            continue;
+        if !super::eligible_to_spawn(ctx) {
+            return;
         }
-        let primary = sim.workers[idx].primary;
-        let succs = sim.ring.successors(primary, k);
+        let succs = ctx.successor_list();
         if succs.is_empty() {
-            continue;
+            return;
         }
-        let pos = if smart {
-            sim.msgs.load_queries += succs.len() as u64;
-            match most_loaded_target(sim, &succs) {
+        let pos = if self.smart {
+            match most_loaded_target(ctx, &succs) {
                 Some(p) => p,
-                None => continue, // no successor has any work
+                None => return, // no successor has any work
             }
         } else {
-            widest_gap_target(primary, &succs)
+            widest_gap_target(ctx.primary(), &succs)
         };
         // Occupied midpoint (or a gap of width 1) simply skips this
         // check; the node will try again next interval.
-        let _ = sim.create_sybil(idx, pos);
+        let _ = ctx.spawn_sybil(pos);
     }
 }
 
 /// Midpoint of the widest gap among `[primary, succs...]` — the plain
 /// strategy's free estimate of where the most work sits.
-fn widest_gap_target(primary: Id, succs: &[Id]) -> Id {
+pub fn widest_gap_target(primary: Id, succs: &[Id]) -> Id {
     let mut prev = primary;
     let mut best = (Id::ZERO, prev, prev);
     for &s in succs {
@@ -63,23 +80,30 @@ fn widest_gap_target(primary: Id, succs: &[Id]) -> Id {
     ring::midpoint(best.1, best.2)
 }
 
-/// Midpoint of the most-loaded successor's own range — the smart
-/// variant's measured target. `None` when every successor is idle.
-fn most_loaded_target(sim: &Sim, succs: &[Id]) -> Option<Id> {
-    let (best, load) = succs
-        .iter()
-        .map(|&s| (s, sim.ring.load(s)))
-        .max_by_key(|&(_, l)| l)?;
+/// Split point of the most-loaded successor's range — the smart
+/// variant's measured target, one `LoadQuery` per successor. Ties go to
+/// the later list entry (matching `Iterator::max_by_key`). `None` when
+/// every successor is idle.
+fn most_loaded_target(ctx: &mut dyn NodeContext, succs: &[Id]) -> Option<Id> {
+    let mut best: Option<(Id, u64)> = None;
+    for &s in succs {
+        let l = ctx.query_load(s);
+        if best.is_none_or(|(_, bl)| l >= bl) {
+            best = Some((s, l));
+        }
+    }
+    let (best, load) = best?;
     if load == 0 {
         return None;
     }
-    super::split_position(sim, best)
+    ctx.split_target(best)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{SimConfig, StrategyKind};
+    use crate::sim::Sim;
 
     fn cfg(strategy: StrategyKind) -> SimConfig {
         SimConfig {

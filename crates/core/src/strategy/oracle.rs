@@ -8,55 +8,73 @@
 //! nodes and splits those nodes at their task medians. It is the
 //! best-case any Sybil-based balancer could approach, so the gap between
 //! it and random injection measures the price of decentralization.
+//!
+//! Because it needs [`OracleView`] — the whole worker table and every
+//! vnode's load — it dispatches with [`StrategyScope::Omniscient`] and
+//! only runs on the oracle-ring substrate; a real Chord network cannot
+//! (and must not) provide that view.
 
-use crate::sim::Sim;
+use super::{OracleView, Strategy, StrategyScope};
 use autobal_id::Id;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Runs one centralized rebalancing round.
-pub(crate) fn act(sim: &mut Sim) {
-    // Eligible helpers, least-loaded first.
-    let mut helpers: Vec<usize> = (0..sim.workers.len())
-        .filter(|&i| sim.workers[i].is_active())
-        .collect();
-    helpers.sort_unstable_by_key(|&i| sim.workers[i].load);
-    let helpers: Vec<usize> = helpers
-        .into_iter()
-        .filter(|&i| super::can_spawn_sybil(sim, i))
-        .collect();
-    if helpers.is_empty() {
-        return;
+/// The centralized comparator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CentralizedOracle;
+
+impl Strategy for CentralizedOracle {
+    fn name(&self) -> &'static str {
+        "centralized-oracle"
     }
 
-    // Global view of vnode loads (the coordinator's omniscience).
-    let mut heap: BinaryHeap<(u64, Reverse<Id>)> = sim
-        .ring
-        .iter()
-        .map(|(id, v)| (v.tasks.len() as u64, Reverse(*id)))
-        .collect();
+    fn scope(&self) -> StrategyScope {
+        StrategyScope::Omniscient
+    }
 
-    for helper in helpers {
-        let Some((load, Reverse(victim))) = heap.pop() else {
-            break;
-        };
-        if load < 2 {
-            break; // nothing left worth splitting
+    fn check_global(&self, view: &mut dyn OracleView) {
+        // Eligible helpers, least-loaded first.
+        let mut helpers: Vec<usize> = (0..view.worker_count())
+            .filter(|&i| view.is_worker_active(i))
+            .collect();
+        helpers.sort_unstable_by_key(|&i| view.worker_load(i));
+        let helpers: Vec<usize> = helpers
+            .into_iter()
+            .filter(|&i| view.worker_can_spawn(i))
+            .collect();
+        if helpers.is_empty() {
+            return;
         }
-        // The heap entry may be stale (an earlier split shrank it); use
-        // the live load.
-        let live = sim.ring.load(victim);
-        if live < 2 {
-            continue;
-        }
-        let Some(pos) = sim.ring.median_task_key(victim) else {
-            continue;
-        };
-        if let Some(acquired) = sim.create_sybil(helper, pos) {
-            heap.push((live - acquired, Reverse(victim)));
-            heap.push((acquired, Reverse(pos)));
-        } else {
-            heap.push((live, Reverse(victim)));
+
+        // Global view of vnode loads (the coordinator's omniscience).
+        let mut heap: BinaryHeap<(u64, Reverse<Id>)> = view
+            .vnode_loads()
+            .into_iter()
+            .map(|(id, l)| (l, Reverse(id)))
+            .collect();
+
+        for helper in helpers {
+            let Some((load, Reverse(victim))) = heap.pop() else {
+                break;
+            };
+            if load < 2 {
+                break; // nothing left worth splitting
+            }
+            // The heap entry may be stale (an earlier split shrank it);
+            // use the live load.
+            let live = view.vnode_load(victim);
+            if live < 2 {
+                continue;
+            }
+            let Some(pos) = view.median_task_key(victim) else {
+                continue;
+            };
+            if let Some(acquired) = view.spawn_sybil_for(helper, pos) {
+                heap.push((live - acquired, Reverse(victim)));
+                heap.push((acquired, Reverse(pos)));
+            } else {
+                heap.push((live, Reverse(victim)));
+            }
         }
     }
 }
@@ -79,7 +97,11 @@ mod tests {
     fn oracle_approaches_ideal() {
         let res = Sim::new(cfg(StrategyKind::CentralizedOracle), 1).run();
         assert!(res.completed);
-        assert!(res.runtime_factor < 1.6, "oracle factor {}", res.runtime_factor);
+        assert!(
+            res.runtime_factor < 1.6,
+            "oracle factor {}",
+            res.runtime_factor
+        );
     }
 
     #[test]

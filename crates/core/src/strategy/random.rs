@@ -7,26 +7,29 @@
 //! split exactly the over-long arcs that hold the most work — randomized
 //! recursive bisection of the hot ranges.
 
-use crate::sim::Sim;
-use autobal_id::Id;
+use super::{NodeContext, Strategy};
 
-/// Runs one random-injection check over all workers.
-pub(crate) fn act(sim: &mut Sim) {
-    for idx in 0..sim.workers.len() {
-        if !sim.workers[idx].is_active() {
-            continue;
-        }
+/// The random-injection strategy, substrate-agnostic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomInjection;
+
+impl Strategy for RandomInjection {
+    fn name(&self) -> &'static str {
+        "random-injection"
+    }
+
+    fn check_node(&self, ctx: &mut dyn NodeContext) {
         // Stale Sybils quit and the node immediately hunts again with a
         // fresh (single) Sybil in the same decision.
-        super::retire_if_idle(sim, idx);
-        if !super::can_spawn_sybil(sim, idx) {
-            continue;
+        super::retire_if_idle(ctx);
+        if !super::eligible_to_spawn(ctx) {
+            return;
         }
         // One Sybil per decision; a rare address collision gets a few
         // redraws before giving up until the next check.
         for _ in 0..4 {
-            let pos = Id::random(&mut sim.rng_strategy);
-            if sim.create_sybil(idx, pos).is_some() {
+            let pos = ctx.random_id();
+            if ctx.spawn_sybil(pos).is_some() {
                 break;
             }
         }

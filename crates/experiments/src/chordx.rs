@@ -6,7 +6,7 @@
 use crate::common::{write_out, Args};
 use autobal_chord::{routing, NetConfig, Network};
 use autobal_id::{sha1::sha1_id_of_u64, Id};
-use autobal_stats::rng::{substream, domains};
+use autobal_stats::rng::{domains, substream};
 use autobal_workload::tables::{f3, Table};
 use rand::Rng;
 
@@ -63,12 +63,9 @@ pub fn maintenance_cost(args: &Args) {
         strategy: autobal_core::StrategyKind::Churn,
         ..autobal_core::SimConfig::default()
     };
-    let base_factor = autobal_workload::trials::run_and_summarize(
-        &base_cfg,
-        args.trials,
-        args.seed ^ 0xC0,
-    )
-    .mean_runtime_factor;
+    let base_factor =
+        autobal_workload::trials::run_and_summarize(&base_cfg, args.trials, args.seed ^ 0xC0)
+            .mean_runtime_factor;
 
     for rate in [0.0, 0.001, 0.01, 0.05, 0.1] {
         // Protocol cost: run the substrate with matching churn.
@@ -206,9 +203,9 @@ pub fn async_latency(args: &Args) {
         }
     }
     match converged_at {
-        Some(r) => println!(
-            "  ring reconverged {r} stabilize intervals after killing 16/128 nodes"
-        ),
+        Some(r) => {
+            println!("  ring reconverged {r} stabilize intervals after killing 16/128 nodes")
+        }
         None => println!("  WARNING: ring did not reconverge within 60 intervals"),
     }
     write_out(&args.out, "async_latency.md", &table.to_markdown());
@@ -224,8 +221,12 @@ pub fn chord_churn(args: &Args) {
     let mut net = Network::bootstrap(NetConfig::default(), 64, &mut rng);
     let from0 = net.node_ids()[0];
     for i in 0..500u64 {
-        net.put(from0, sha1_id_of_u64(i), bytes::Bytes::from(format!("v{i}")))
-            .unwrap();
+        net.put(
+            from0,
+            sha1_id_of_u64(i),
+            bytes::Bytes::from(format!("v{i}")),
+        )
+        .unwrap();
     }
     net.maintenance_cycle();
 

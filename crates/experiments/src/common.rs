@@ -59,8 +59,7 @@ impl Args {
 
     /// Should this experiment id run?
     pub fn wants(&self, id: &str) -> bool {
-        self.targets.is_empty()
-            || self.targets.iter().any(|t| t == id || t == "all")
+        self.targets.is_empty() || self.targets.iter().any(|t| t == id || t == "all")
     }
 }
 

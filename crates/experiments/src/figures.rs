@@ -68,11 +68,21 @@ pub fn fig2_3(args: &Args) {
     for (fig, ns) in [("fig2", &nodes), ("fig3", &even)] {
         for &n in ns.iter() {
             let p = autobal_id::embed::ring_xy(n);
-            csv.push_str(&format!("{fig},node,{},{:.6},{:.6}\n", n.to_hex(), p.x, p.y));
+            csv.push_str(&format!(
+                "{fig},node,{},{:.6},{:.6}\n",
+                n.to_hex(),
+                p.x,
+                p.y
+            ));
         }
         for &t in &tasks {
             let p = autobal_id::embed::ring_xy(t);
-            csv.push_str(&format!("{fig},task,{},{:.6},{:.6}\n", t.to_hex(), p.x, p.y));
+            csv.push_str(&format!(
+                "{fig},task,{},{:.6},{:.6}\n",
+                t.to_hex(),
+                p.x,
+                p.y
+            ));
         }
     }
     write_out(&args.out, "fig2_3_coords.csv", &csv);
@@ -117,7 +127,10 @@ fn comparison_figure(
         write_out(&args.out, &format!("{name}.csv"), &csv);
         let chart = BarChart::from_histogram_rows(
             format!("{title} — tick {t}"),
-            &[(label_a, hists[0].as_slice()), (label_b, hists[1].as_slice())],
+            &[
+                (label_a, hists[0].as_slice()),
+                (label_b, hists[1].as_slice()),
+            ],
         );
         write_out(&args.out, &format!("{name}.svg"), &chart.to_svg());
         println!(

@@ -26,9 +26,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: repro [--quick|--full|--trials N] [--seed S] [--out DIR] [targets…]"
-            );
+            eprintln!("usage: repro [--quick|--full|--trials N] [--seed S] [--out DIR] [targets…]");
             std::process::exit(2);
         }
     };

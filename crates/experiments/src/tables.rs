@@ -1,7 +1,7 @@
 //! Table I and Table II drivers.
 
-use crate::common::Args;
 use crate::common::write_out;
+use crate::common::Args;
 use autobal_core::{SimConfig, StrategyKind};
 use autobal_stats::{spacings, summary::average_summaries};
 use autobal_workload::tables::{f3, Table};
@@ -24,8 +24,12 @@ pub fn table1(args: &Args) {
         (10_000, 500_000),
         (10_000, 1_000_000),
     ];
-    let paper_median = [69.410, 346.570, 692.300, 13.810, 69.280, 138.360, 7.000, 34.550, 69.180];
-    let paper_sigma = [137.27, 499.169, 996.982, 20.477, 100.344, 200.564, 10.492, 50.366, 100.319];
+    let paper_median = [
+        69.410, 346.570, 692.300, 13.810, 69.280, 138.360, 7.000, 34.550, 69.180,
+    ];
+    let paper_sigma = [
+        137.27, 499.169, 996.982, 20.477, 100.344, 200.564, 10.492, 50.366, 100.319,
+    ];
 
     let mut table = Table::new(vec![
         "Nodes",

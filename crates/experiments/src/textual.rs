@@ -22,7 +22,10 @@ pub fn text_ri(args: &Args) {
     let mut table = Table::new(vec!["configuration", "mean factor", "σ", "paper says"]);
     let mut log = |name: &str, cfg: SimConfig, paper: &str, seed_salt: u64| -> f64 {
         let s = run_and_summarize(&cfg, args.trials, args.seed ^ seed_salt);
-        println!("  {name}: {:.3} ± {:.3}   [{paper}]", s.mean_runtime_factor, s.std_runtime_factor);
+        println!(
+            "  {name}: {:.3} ± {:.3}   [{paper}]",
+            s.mean_runtime_factor, s.std_runtime_factor
+        );
         table.push_row(vec![
             name.to_string(),
             f3(s.mean_runtime_factor),
@@ -45,7 +48,10 @@ pub fn text_ri(args: &Args) {
         "1.12 – 1.25; ≈0.82 below the 1e5 case",
         2,
     );
-    println!("  Δ(1e5 − 1e6) = {:.3} (paper ≈ 0.82 in their bands)", f_1e5 - f_1e6);
+    println!(
+        "  Δ(1e5 − 1e6) = {:.3} (paper ≈ 0.82 in their bands)",
+        f_1e5 - f_1e6
+    );
 
     // Ratio-matched networks: the smaller runs slightly faster.
     let f_small = log(
@@ -60,7 +66,10 @@ pub fn text_ri(args: &Args) {
         "(same row as above)",
         1,
     );
-    println!("  ratio-matched Δ(big − small) = {:.3} (paper 0.086)", f_big - f_small);
+    println!(
+        "  ratio-matched Δ(big − small) = {:.3} (paper 0.086)",
+        f_big - f_small
+    );
 
     // Heterogeneity hurts.
     log(
@@ -134,7 +143,10 @@ pub fn text_ni(args: &Args) {
     let mut table = Table::new(vec!["configuration", "mean factor", "σ", "paper says"]);
     let mut log = |name: &str, cfg: SimConfig, paper: &str, salt: u64| -> f64 {
         let s = run_and_summarize(&cfg, args.trials, args.seed ^ salt);
-        println!("  {name}: {:.3} ± {:.3}   [{paper}]", s.mean_runtime_factor, s.std_runtime_factor);
+        println!(
+            "  {name}: {:.3} ± {:.3}   [{paper}]",
+            s.mean_runtime_factor, s.std_runtime_factor
+        );
         table.push_row(vec![
             name.to_string(),
             f3(s.mean_runtime_factor),
@@ -194,7 +206,10 @@ pub fn text_ni(args: &Args) {
         "larger numSuccessors ⇒ ≈ −0.3",
         14,
     );
-    println!("  successors 10 improvement = {:.3} (paper ≈ 0.3)", s5 - s10);
+    println!(
+        "  successors 10 improvement = {:.3} (paper ≈ 0.3)",
+        s5 - s10
+    );
 
     write_out(&args.out, "text_ni.md", &table.to_markdown());
     write_out(&args.out, "text_ni.csv", &table.to_csv());
@@ -206,7 +221,10 @@ pub fn text_inv(args: &Args) {
     let mut table = Table::new(vec!["configuration", "mean factor", "σ", "paper says"]);
     let mut log = |name: &str, cfg: SimConfig, paper: &str, salt: u64| {
         let s = run_and_summarize(&cfg, args.trials, args.seed ^ salt);
-        println!("  {name}: {:.3} ± {:.3}   [{paper}]", s.mean_runtime_factor, s.std_runtime_factor);
+        println!(
+            "  {name}: {:.3} ± {:.3}   [{paper}]",
+            s.mean_runtime_factor, s.std_runtime_factor
+        );
         table.push_row(vec![
             name.to_string(),
             f3(s.mean_runtime_factor),
@@ -264,7 +282,11 @@ pub fn worktick(args: &Args) {
     for strat in strategies {
         let cfg = SimConfig {
             strategy: strat,
-            churn_rate: if strat == StrategyKind::Churn { 0.01 } else { 0.0 },
+            churn_rate: if strat == StrategyKind::Churn {
+                0.01
+            } else {
+                0.0
+            },
             ..base(1000, 100_000, strat).clone()
         };
         let res = Sim::new(cfg, args.seed).run();
@@ -314,7 +336,11 @@ pub fn timeseries(args: &Args) {
     for strat in strategies {
         let cfg = SimConfig {
             strategy: strat,
-            churn_rate: if strat == StrategyKind::Churn { 0.01 } else { 0.0 },
+            churn_rate: if strat == StrategyKind::Churn {
+                0.01
+            } else {
+                0.0
+            },
             series_interval: Some(5),
             ..base(1000, 100_000, strat)
         };
@@ -354,7 +380,10 @@ pub fn extensions(args: &Args) {
     let mut table = Table::new(vec!["configuration", "mean factor", "σ", "expectation"]);
     let mut log = |name: &str, cfg: SimConfig, note: &str, salt: u64| -> f64 {
         let s = run_and_summarize(&cfg, args.trials, args.seed ^ salt);
-        println!("  {name}: {:.3} ± {:.3}   [{note}]", s.mean_runtime_factor, s.std_runtime_factor);
+        println!(
+            "  {name}: {:.3} ± {:.3}   [{note}]",
+            s.mean_runtime_factor, s.std_runtime_factor
+        );
         table.push_row(vec![
             name.to_string(),
             f3(s.mean_runtime_factor),
@@ -386,7 +415,12 @@ pub fn extensions(args: &Args) {
     println!("  strength-aware improvement = {:.3}", vanilla - aware);
 
     let inv = base(1000, 100_000, StrategyKind::Invitation);
-    let v2 = log("invitation midpoint placement", inv.clone(), "published baseline", 42);
+    let v2 = log(
+        "invitation midpoint placement",
+        inv.clone(),
+        "published baseline",
+        42,
+    );
     let c2 = log(
         "invitation chosen-ID (task-median) placement",
         SimConfig {
@@ -399,7 +433,12 @@ pub fn extensions(args: &Args) {
     println!("  chosen-ID improvement (invitation) = {:.3}", v2 - c2);
 
     let smart = base(1000, 100_000, StrategyKind::SmartNeighbor);
-    let v3 = log("smart neighbor midpoint placement", smart.clone(), "published baseline", 43);
+    let v3 = log(
+        "smart neighbor midpoint placement",
+        smart.clone(),
+        "published baseline",
+        43,
+    );
     let c3 = log(
         "smart neighbor chosen-ID placement",
         SimConfig {
@@ -433,7 +472,11 @@ pub fn messages(args: &Args) {
         StrategyKind::Invitation,
     ] {
         let cfg = SimConfig {
-            churn_rate: if strat == StrategyKind::Churn { 0.01 } else { 0.0 },
+            churn_rate: if strat == StrategyKind::Churn {
+                0.01
+            } else {
+                0.0
+            },
             ..base(1000, 100_000, strat)
         };
         let s = run_and_summarize(&cfg, args.trials, args.seed ^ 31);

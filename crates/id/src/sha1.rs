@@ -174,7 +174,10 @@ mod tests {
     // RFC 3174 / FIPS 180-1 test vectors.
     #[test]
     fn rfc_vector_abc() {
-        assert_eq!(hex(&digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -190,12 +193,18 @@ mod tests {
     #[test]
     fn rfc_vector_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&digest(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
     fn empty_message() {
-        assert_eq!(hex(&digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]

@@ -211,7 +211,10 @@ impl Id {
 
     /// Formats as a 40-character lowercase hex string.
     pub fn to_hex(self) -> String {
-        self.to_be_bytes().iter().map(|b| format!("{b:02x}")).collect()
+        self.to_be_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect()
     }
 
     /// Draws an identifier uniformly at random from the full 160-bit range.

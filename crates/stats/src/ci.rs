@@ -42,7 +42,10 @@ pub fn bootstrap_mean_ci(
     resamples: usize,
     rng: &mut DetRng,
 ) -> Option<ConfidenceInterval> {
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "bad level {level}");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "bad level {level}"
+    );
     assert!(resamples > 0, "need at least one resample");
     if sample.is_empty() {
         return None;

@@ -98,7 +98,11 @@ impl LogHistogram {
     pub fn build(values: &[u64]) -> LogHistogram {
         let mut counts: Vec<u64> = Vec::new();
         for &v in values {
-            let bin = if v == 0 { 0 } else { (64 - v.leading_zeros()) as usize };
+            let bin = if v == 0 {
+                0
+            } else {
+                (64 - v.leading_zeros()) as usize
+            };
             if counts.len() <= bin {
                 counts.resize(bin + 1, 0);
             }

@@ -72,7 +72,12 @@ mod tests {
         // Exponential spacings: σ ≈ mean (paper: 137 ≈ wait — Table I has
         // σ 137 for mean 100; σ includes trial noise. Ours: single trial
         // σ close to mean 100 within 25%).
-        assert!((s.std_dev - s.mean).abs() / s.mean < 0.25, "σ {} mean {}", s.std_dev, s.mean);
+        assert!(
+            (s.std_dev - s.mean).abs() / s.mean < 0.25,
+            "σ {} mean {}",
+            s.std_dev,
+            s.mean
+        );
     }
 
     #[test]

@@ -86,10 +86,13 @@ mod tests {
     fn churn_sweep_is_monotone() {
         let pts = sweep_churn_rate(&base(), &[0.0, 0.005, 0.02], 6, 1);
         assert_eq!(pts.len(), 3);
-        assert!(is_monotone_improving(&pts, 0.25), "{:?}", pts
-            .iter()
-            .map(|p| p.stats.mean_runtime_factor)
-            .collect::<Vec<_>>());
+        assert!(
+            is_monotone_improving(&pts, 0.25),
+            "{:?}",
+            pts.iter()
+                .map(|p| p.stats.mean_runtime_factor)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

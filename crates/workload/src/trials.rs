@@ -43,8 +43,7 @@ pub fn summarize(results: &[RunResult]) -> TrialStats {
     let n = results.len() as f64;
     let factors: Vec<f64> = results.iter().map(|r| r.runtime_factor).collect();
     let mean = factors.iter().sum::<f64>() / n;
-    let var = factors.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>()
-        / (n - 1.0).max(1.0);
+    let var = factors.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / (n - 1.0).max(1.0);
     let mut messages = SimMessageStats::default();
     for r in results {
         messages.merge(&r.messages);

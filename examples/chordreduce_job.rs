@@ -40,7 +40,11 @@ fn main() {
     for strat in StrategyKind::ALL {
         let cfg = SimConfig {
             strategy: strat,
-            churn_rate: if strat == StrategyKind::Churn { 0.01 } else { 0.0 },
+            churn_rate: if strat == StrategyKind::Churn {
+                0.01
+            } else {
+                0.0
+            },
             ..base.clone()
         };
         let s = run_and_summarize(&cfg, trials, seed);

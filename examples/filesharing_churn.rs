@@ -49,13 +49,19 @@ fn protocol_level_churn() {
         }
     }
     net.maintenance_cycle();
-    assert_eq!(net.total_keys(), 500, "no block lost through 20 fail/join rounds");
+    assert_eq!(
+        net.total_keys(),
+        500,
+        "no block lost through 20 fail/join rounds"
+    );
 
     // Every block remains addressable from an arbitrary peer.
     let from = net.node_ids()[0];
     let mut total_hops = 0u64;
     for b in 0..500u64 {
-        let res = net.lookup(from, sha1_id_of_u64(b)).expect("lookup converges");
+        let res = net
+            .lookup(from, sha1_id_of_u64(b))
+            .expect("lookup converges");
         total_hops += res.hops as u64;
     }
     println!(

@@ -1,7 +1,8 @@
 //! Cross-validation of the two simulation fidelities: the oracle-ring
 //! tick simulator (what the paper used) versus the full Chord protocol
 //! substrate (what a deployment would run) — same workload, same
-//! strategy, side by side with the protocol's true message bill.
+//! trait-object strategies, side by side with the protocol's true
+//! message bill and the strategy's own overhead share.
 //!
 //! ```text
 //! cargo run --release --example protocol_vs_oracle
@@ -13,46 +14,57 @@ use autobal::sim::{Sim, SimConfig, StrategyKind};
 fn main() {
     let nodes = 48;
     let tasks = 4_800u64;
-    println!("{nodes} nodes, {tasks} tasks — ideal runtime {} ticks\n", tasks / nodes as u64);
-    println!("| level | strategy | ticks | factor | protocol msgs |");
-    println!("|---|---|---|---|---|");
+    println!(
+        "{nodes} nodes, {tasks} tasks — ideal runtime {} ticks\n",
+        tasks / nodes as u64
+    );
+    println!("| level | strategy | ticks | factor | protocol msgs | strategy msgs |");
+    println!("|---|---|---|---|---|---|");
 
-    for (label, injection) in [("none", false), ("random injection", true)] {
-        // Protocol substrate.
+    for kind in [
+        StrategyKind::None,
+        StrategyKind::RandomInjection,
+        StrategyKind::NeighborInjection,
+        StrategyKind::SmartNeighbor,
+        StrategyKind::Invitation,
+    ] {
+        let label = kind.label();
+
+        // Protocol substrate: the same Strategy trait object running
+        // against a live Chord network.
         let p = run_protocol_sim(
             &ProtocolSimConfig {
                 nodes,
                 tasks,
-                random_injection: injection,
+                strategy: kind,
                 ..ProtocolSimConfig::default()
             },
             7,
         );
         println!(
-            "| chord protocol | {label} | {} | {:.2} | {} |",
+            "| chord protocol | {label} | {} | {:.2} | {} | {} |",
             p.ticks,
             p.runtime_factor,
-            p.messages.total()
+            p.messages.total(),
+            p.messages.strategy_overhead()
         );
 
-        // Oracle ring.
+        // Oracle ring: the paper's abstraction.
         let o = Sim::new(
             SimConfig {
                 nodes,
                 tasks,
-                strategy: if injection {
-                    StrategyKind::RandomInjection
-                } else {
-                    StrategyKind::None
-                },
+                strategy: kind,
                 ..SimConfig::default()
             },
             7,
         )
         .run();
         println!(
-            "| oracle ring | {label} | {} | {:.2} | (not modeled) |",
-            o.ticks, o.runtime_factor
+            "| oracle ring | {label} | {} | {:.2} | (not modeled) | {} |",
+            o.ticks,
+            o.runtime_factor,
+            o.messages.load_queries + o.messages.invitations_sent
         );
     }
     println!(

@@ -17,13 +17,7 @@ fn main() {
 
     println!("strategy shootout: {nodes} nodes, {tasks} tasks (same placement)\n");
     let mut results = Table::new(vec![
-        "strategy",
-        "ticks",
-        "factor",
-        "gini@35",
-        "jain@35",
-        "cov@35",
-        "idle@35",
+        "strategy", "ticks", "factor", "gini@35", "jain@35", "cov@35", "idle@35",
     ]);
 
     for strat in StrategyKind::ALL {
@@ -31,7 +25,11 @@ fn main() {
             nodes,
             tasks,
             strategy: strat,
-            churn_rate: if strat == StrategyKind::Churn { 0.01 } else { 0.0 },
+            churn_rate: if strat == StrategyKind::Churn {
+                0.01
+            } else {
+                0.0
+            },
             snapshot_ticks: vec![35],
             ..SimConfig::default()
         };

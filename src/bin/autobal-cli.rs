@@ -65,8 +65,7 @@ fn cmd_run(args: &[String]) -> i32 {
                 "--tasks" => cfg.tasks = next("--tasks")?.parse().map_err(|e| format!("{e}"))?,
                 "--strategy" => {
                     let s = next("--strategy")?;
-                    cfg.strategy =
-                        parse_strategy(&s).ok_or(format!("unknown strategy {s}"))?;
+                    cfg.strategy = parse_strategy(&s).ok_or(format!("unknown strategy {s}"))?;
                 }
                 "--churn" => {
                     cfg.churn_rate = next("--churn")?.parse().map_err(|e| format!("{e}"))?

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/autobal-6e055d7655881bfa.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/debug/deps/libautobal-6e055d7655881bfa.rlib: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/debug/deps/libautobal-6e055d7655881bfa.rmeta: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/autobal-e6415fcaebafa857.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/debug/deps/autobal-e6415fcaebafa857: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autobal_bench-3290fe17b00b60f3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/autobal_bench-3290fe17b00b60f3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/autobal_bench-9c98488533d5aba6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautobal_bench-9c98488533d5aba6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautobal_bench-9c98488533d5aba6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

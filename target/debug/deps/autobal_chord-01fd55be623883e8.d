@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/autobal_chord-01fd55be623883e8.d: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/debug/deps/autobal_chord-01fd55be623883e8: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/eventnet.rs:
+crates/chord/src/kv.rs:
+crates/chord/src/maintenance.rs:
+crates/chord/src/messages.rs:
+crates/chord/src/network.rs:
+crates/chord/src/node.rs:
+crates/chord/src/routing.rs:

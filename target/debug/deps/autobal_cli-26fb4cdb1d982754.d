@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autobal_cli-26fb4cdb1d982754.d: src/bin/autobal-cli.rs
+
+/root/repo/target/debug/deps/autobal_cli-26fb4cdb1d982754: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autobal_cli-b31ed4c18d972a80.d: src/bin/autobal-cli.rs
+
+/root/repo/target/debug/deps/autobal_cli-b31ed4c18d972a80: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

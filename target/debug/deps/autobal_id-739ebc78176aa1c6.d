@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/autobal_id-739ebc78176aa1c6.d: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+/root/repo/target/debug/deps/libautobal_id-739ebc78176aa1c6.rlib: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+/root/repo/target/debug/deps/libautobal_id-739ebc78176aa1c6.rmeta: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+crates/id/src/lib.rs:
+crates/id/src/embed.rs:
+crates/id/src/ring.rs:
+crates/id/src/sha1.rs:
+crates/id/src/u160.rs:

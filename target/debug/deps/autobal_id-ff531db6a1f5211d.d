@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/autobal_id-ff531db6a1f5211d.d: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+/root/repo/target/debug/deps/autobal_id-ff531db6a1f5211d: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+crates/id/src/lib.rs:
+crates/id/src/embed.rs:
+crates/id/src/ring.rs:
+crates/id/src/sha1.rs:
+crates/id/src/u160.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/autobal_stats-36ae5611b91f7afd.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/autobal_stats-36ae5611b91f7afd: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/fairness.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/spacings.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/autobal_viz-369ca05b6f38279f.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/autobal_viz-369ca05b6f38279f: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/autobal_viz-7d8c729a1c2b1df5.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libautobal_viz-7d8c729a1c2b1df5.rlib: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libautobal_viz-7d8c729a1c2b1df5.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/autobal_workload-66e9413f2322cf26.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+/root/repo/target/debug/deps/autobal_workload-66e9413f2322cf26: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/sweep.rs:
+crates/workload/src/tables.rs:
+crates/workload/src/trials.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chord_integration-513b3c709d3fcfbc.d: tests/chord_integration.rs
+
+/root/repo/target/debug/deps/chord_integration-513b3c709d3fcfbc: tests/chord_integration.rs
+
+tests/chord_integration.rs:

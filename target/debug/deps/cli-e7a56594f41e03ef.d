@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e7a56594f41e03ef.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e7a56594f41e03ef: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_autobal-cli=/root/repo/target/debug/autobal-cli

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-1505914667243831.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-1505914667243831: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-a589e21d17c95e61.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-a589e21d17c95e61: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-984dc4fd5fdbdda9.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-984dc4fd5fdbdda9: tests/end_to_end.rs
+
+tests/end_to_end.rs:

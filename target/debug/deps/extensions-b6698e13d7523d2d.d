@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b6698e13d7523d2d.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b6698e13d7523d2d: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6ca75e3c417785a4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6ca75e3c417785a4: tests/properties.rs
+
+tests/properties.rs:

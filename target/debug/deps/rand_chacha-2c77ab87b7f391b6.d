@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-2c77ab87b7f391b6.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-2c77ab87b7f391b6: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

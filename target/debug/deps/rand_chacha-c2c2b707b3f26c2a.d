@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-c2c2b707b3f26c2a.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c2c2b707b3f26c2a.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c2c2b707b3f26c2a.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

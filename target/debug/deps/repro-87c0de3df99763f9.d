@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro-87c0de3df99763f9.d: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+/root/repo/target/debug/deps/repro-87c0de3df99763f9: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+crates/experiments/src/main.rs:
+crates/experiments/src/chordx.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/textual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-238f2bc2e54f986d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-238f2bc2e54f986d: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

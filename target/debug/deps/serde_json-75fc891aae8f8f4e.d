@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde_json-75fc891aae8f8f4e.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/debug/deps/libserde_json-75fc891aae8f8f4e.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/debug/deps/libserde_json-75fc891aae8f8f4e.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+vendor/serde_json/src/value.rs:
+vendor/serde_json/src/write.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde_json-ad2d6c809332b8fe.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/debug/deps/serde_json-ad2d6c809332b8fe: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+vendor/serde_json/src/value.rs:
+vendor/serde_json/src/write.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_parity-329eff1df07eb657.d: tests/strategy_parity.rs
+
+/root/repo/target/debug/deps/strategy_parity-329eff1df07eb657: tests/strategy_parity.rs
+
+tests/strategy_parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chordreduce_job-73cacd237c8f1cfb.d: examples/chordreduce_job.rs
+
+/root/repo/target/debug/examples/chordreduce_job-73cacd237c8f1cfb: examples/chordreduce_job.rs
+
+examples/chordreduce_job.rs:

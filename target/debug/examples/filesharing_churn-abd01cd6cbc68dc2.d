@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filesharing_churn-abd01cd6cbc68dc2.d: examples/filesharing_churn.rs
+
+/root/repo/target/debug/examples/filesharing_churn-abd01cd6cbc68dc2: examples/filesharing_churn.rs
+
+examples/filesharing_churn.rs:

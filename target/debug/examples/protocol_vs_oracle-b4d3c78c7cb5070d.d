@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_vs_oracle-b4d3c78c7cb5070d.d: examples/protocol_vs_oracle.rs
+
+/root/repo/target/debug/examples/protocol_vs_oracle-b4d3c78c7cb5070d: examples/protocol_vs_oracle.rs
+
+examples/protocol_vs_oracle.rs:

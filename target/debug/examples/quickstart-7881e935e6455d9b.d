@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7881e935e6455d9b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7881e935e6455d9b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ring_visualizer-c90552cb38920cad.d: examples/ring_visualizer.rs
+
+/root/repo/target/debug/examples/ring_visualizer-c90552cb38920cad: examples/ring_visualizer.rs
+
+examples/ring_visualizer.rs:

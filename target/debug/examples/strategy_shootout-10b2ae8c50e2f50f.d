@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_shootout-10b2ae8c50e2f50f.d: examples/strategy_shootout.rs
+
+/root/repo/target/debug/examples/strategy_shootout-10b2ae8c50e2f50f: examples/strategy_shootout.rs
+
+examples/strategy_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sybil_attack_demo-7a71f0d1253b9c8c.d: examples/sybil_attack_demo.rs
+
+/root/repo/target/debug/examples/sybil_attack_demo-7a71f0d1253b9c8c: examples/sybil_attack_demo.rs
+
+examples/sybil_attack_demo.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/autobal-12d0e299f215f013.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/release/deps/libautobal-12d0e299f215f013.rlib: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/release/deps/libautobal-12d0e299f215f013.rmeta: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/autobal-e8f0599558c6190b.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/release/deps/autobal-e8f0599558c6190b: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

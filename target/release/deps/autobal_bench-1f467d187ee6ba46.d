@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/autobal_bench-1f467d187ee6ba46.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libautobal_bench-1f467d187ee6ba46.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libautobal_bench-1f467d187ee6ba46.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

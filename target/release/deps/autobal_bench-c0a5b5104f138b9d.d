@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/autobal_bench-c0a5b5104f138b9d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/autobal_bench-c0a5b5104f138b9d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

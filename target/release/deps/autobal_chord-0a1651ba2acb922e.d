@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/autobal_chord-0a1651ba2acb922e.d: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/release/deps/libautobal_chord-0a1651ba2acb922e.rlib: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/release/deps/libautobal_chord-0a1651ba2acb922e.rmeta: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/eventnet.rs:
+crates/chord/src/kv.rs:
+crates/chord/src/maintenance.rs:
+crates/chord/src/messages.rs:
+crates/chord/src/network.rs:
+crates/chord/src/node.rs:
+crates/chord/src/routing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/autobal_chord-0f25c2d3023b153c.d: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal_chord-0f25c2d3023b153c.rmeta: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs Cargo.toml
+
+crates/chord/src/lib.rs:
+crates/chord/src/eventnet.rs:
+crates/chord/src/kv.rs:
+crates/chord/src/maintenance.rs:
+crates/chord/src/messages.rs:
+crates/chord/src/network.rs:
+crates/chord/src/node.rs:
+crates/chord/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

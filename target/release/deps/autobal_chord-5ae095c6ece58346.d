@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/autobal_chord-5ae095c6ece58346.d: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/release/deps/autobal_chord-5ae095c6ece58346: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/eventnet.rs:
+crates/chord/src/kv.rs:
+crates/chord/src/maintenance.rs:
+crates/chord/src/messages.rs:
+crates/chord/src/network.rs:
+crates/chord/src/node.rs:
+crates/chord/src/routing.rs:

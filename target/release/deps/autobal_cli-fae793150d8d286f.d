@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/autobal_cli-fae793150d8d286f.d: src/bin/autobal-cli.rs
+
+/root/repo/target/release/deps/autobal_cli-fae793150d8d286f: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/autobal_cli-fd500ff7c16cc3dc.d: src/bin/autobal-cli.rs
+
+/root/repo/target/release/deps/autobal_cli-fd500ff7c16cc3dc: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/autobal_id-328c9d94fa71fdb5.d: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal_id-328c9d94fa71fdb5.rmeta: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs Cargo.toml
+
+crates/id/src/lib.rs:
+crates/id/src/embed.rs:
+crates/id/src/ring.rs:
+crates/id/src/sha1.rs:
+crates/id/src/u160.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

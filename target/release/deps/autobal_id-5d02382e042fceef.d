@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/autobal_id-5d02382e042fceef.d: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+/root/repo/target/release/deps/autobal_id-5d02382e042fceef: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+crates/id/src/lib.rs:
+crates/id/src/embed.rs:
+crates/id/src/ring.rs:
+crates/id/src/sha1.rs:
+crates/id/src/u160.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/autobal_stats-91dcfbf4b5fa2168.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/release/deps/libautobal_stats-91dcfbf4b5fa2168.rlib: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/release/deps/libautobal_stats-91dcfbf4b5fa2168.rmeta: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/fairness.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/spacings.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:

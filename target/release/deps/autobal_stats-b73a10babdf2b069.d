@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/autobal_stats-b73a10babdf2b069.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/release/deps/autobal_stats-b73a10babdf2b069: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/fairness.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/spacings.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/autobal_stats-d4f90643a14242f7.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal_stats-d4f90643a14242f7.rmeta: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/fairness.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/spacings.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

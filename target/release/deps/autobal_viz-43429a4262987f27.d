@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/autobal_viz-43429a4262987f27.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/libautobal_viz-43429a4262987f27.rlib: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/libautobal_viz-43429a4262987f27.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/svg.rs:

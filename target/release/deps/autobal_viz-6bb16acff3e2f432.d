@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/autobal_viz-6bb16acff3e2f432.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/autobal_viz-6bb16acff3e2f432: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/svg.rs:

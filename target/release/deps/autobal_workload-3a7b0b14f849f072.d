@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/autobal_workload-3a7b0b14f849f072.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+/root/repo/target/release/deps/autobal_workload-3a7b0b14f849f072: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/sweep.rs:
+crates/workload/src/tables.rs:
+crates/workload/src/trials.rs:

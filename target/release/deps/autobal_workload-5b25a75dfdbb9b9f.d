@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/autobal_workload-5b25a75dfdbb9b9f.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+/root/repo/target/release/deps/libautobal_workload-5b25a75dfdbb9b9f.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+/root/repo/target/release/deps/libautobal_workload-5b25a75dfdbb9b9f.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/sweep.rs:
+crates/workload/src/tables.rs:
+crates/workload/src/trials.rs:

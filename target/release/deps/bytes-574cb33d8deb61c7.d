@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-574cb33d8deb61c7.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-574cb33d8deb61c7.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-574cb33d8deb61c7.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-9c51431e3b8b83e4.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-9c51431e3b8b83e4: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

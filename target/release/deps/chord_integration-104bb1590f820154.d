@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chord_integration-104bb1590f820154.d: tests/chord_integration.rs
+
+/root/repo/target/release/deps/chord_integration-104bb1590f820154: tests/chord_integration.rs
+
+tests/chord_integration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-64839d2184063aed.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-64839d2184063aed: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_autobal-cli=/root/repo/target/release/autobal-cli

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-740d64be3f22486b.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-740d64be3f22486b: tests/determinism.rs
+
+tests/determinism.rs:

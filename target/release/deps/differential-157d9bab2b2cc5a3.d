@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-157d9bab2b2cc5a3.d: tests/differential.rs
+
+/root/repo/target/release/deps/differential-157d9bab2b2cc5a3: tests/differential.rs
+
+tests/differential.rs:

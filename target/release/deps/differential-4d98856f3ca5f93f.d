@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/differential-4d98856f3ca5f93f.d: tests/differential.rs Cargo.toml
+
+/root/repo/target/release/deps/libdifferential-4d98856f3ca5f93f.rmeta: tests/differential.rs Cargo.toml
+
+tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

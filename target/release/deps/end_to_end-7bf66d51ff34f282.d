@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-7bf66d51ff34f282.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-7bf66d51ff34f282: tests/end_to_end.rs
+
+tests/end_to_end.rs:

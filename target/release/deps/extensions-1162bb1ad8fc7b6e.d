@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-1162bb1ad8fc7b6e.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-1162bb1ad8fc7b6e: tests/extensions.rs
+
+tests/extensions.rs:

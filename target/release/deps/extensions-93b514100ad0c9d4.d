@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-93b514100ad0c9d4.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-93b514100ad0c9d4.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-2a36c860305da7d9.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-2a36c860305da7d9: tests/properties.rs
+
+tests/properties.rs:

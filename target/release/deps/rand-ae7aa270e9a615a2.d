@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rand-ae7aa270e9a615a2.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/release/deps/rand-ae7aa270e9a615a2: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:

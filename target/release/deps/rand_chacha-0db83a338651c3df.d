@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-0db83a338651c3df.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-0db83a338651c3df: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

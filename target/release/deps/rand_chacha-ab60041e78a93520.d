@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-ab60041e78a93520.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-ab60041e78a93520.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-ab60041e78a93520.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

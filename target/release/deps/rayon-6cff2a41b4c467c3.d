@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-6cff2a41b4c467c3.d: vendor/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-6cff2a41b4c467c3.rmeta: vendor/rayon/src/lib.rs Cargo.toml
+
+vendor/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

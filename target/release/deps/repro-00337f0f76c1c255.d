@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/repro-00337f0f76c1c255.d: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+/root/repo/target/release/deps/repro-00337f0f76c1c255: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+crates/experiments/src/main.rs:
+crates/experiments/src/chordx.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/textual.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-1b8055fa18adc0c3.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1b8055fa18adc0c3.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1b8055fa18adc0c3.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-cb026f152f122559.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-cb026f152f122559: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-481d64228443686e.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-481d64228443686e: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/serde_json-8a528fa732c5c748.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-8a528fa732c5c748.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+vendor/serde_json/src/value.rs:
+vendor/serde_json/src/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde_json-e30f348bd1bc8aab.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/release/deps/serde_json-e30f348bd1bc8aab: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+vendor/serde_json/src/value.rs:
+vendor/serde_json/src/write.rs:

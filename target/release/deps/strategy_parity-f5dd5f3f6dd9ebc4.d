@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/strategy_parity-f5dd5f3f6dd9ebc4.d: tests/strategy_parity.rs
+
+/root/repo/target/release/deps/strategy_parity-f5dd5f3f6dd9ebc4: tests/strategy_parity.rs
+
+tests/strategy_parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/baseline_capture-fc3059e51bbc1509.d: examples/baseline_capture.rs
+
+/root/repo/target/release/examples/baseline_capture-fc3059e51bbc1509: examples/baseline_capture.rs
+
+examples/baseline_capture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chordreduce_job-6c6d50457b7389b7.d: examples/chordreduce_job.rs
+
+/root/repo/target/release/examples/chordreduce_job-6c6d50457b7389b7: examples/chordreduce_job.rs
+
+examples/chordreduce_job.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/filesharing_churn-a665c83253e1709f.d: examples/filesharing_churn.rs
+
+/root/repo/target/release/examples/filesharing_churn-a665c83253e1709f: examples/filesharing_churn.rs
+
+examples/filesharing_churn.rs:

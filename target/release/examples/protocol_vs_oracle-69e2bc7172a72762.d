@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protocol_vs_oracle-69e2bc7172a72762.d: examples/protocol_vs_oracle.rs
+
+/root/repo/target/release/examples/protocol_vs_oracle-69e2bc7172a72762: examples/protocol_vs_oracle.rs
+
+examples/protocol_vs_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f4967b0a560e31be.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f4967b0a560e31be: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ring_visualizer-a5c33a3cf3776037.d: examples/ring_visualizer.rs
+
+/root/repo/target/release/examples/ring_visualizer-a5c33a3cf3776037: examples/ring_visualizer.rs
+
+examples/ring_visualizer.rs:

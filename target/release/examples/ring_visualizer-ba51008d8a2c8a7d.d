@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/ring_visualizer-ba51008d8a2c8a7d.d: examples/ring_visualizer.rs Cargo.toml
+
+/root/repo/target/release/examples/libring_visualizer-ba51008d8a2c8a7d.rmeta: examples/ring_visualizer.rs Cargo.toml
+
+examples/ring_visualizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

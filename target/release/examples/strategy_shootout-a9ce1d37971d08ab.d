@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/strategy_shootout-a9ce1d37971d08ab.d: examples/strategy_shootout.rs
+
+/root/repo/target/release/examples/strategy_shootout-a9ce1d37971d08ab: examples/strategy_shootout.rs
+
+examples/strategy_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sybil_attack_demo-30677189fe446e25.d: examples/sybil_attack_demo.rs
+
+/root/repo/target/release/examples/sybil_attack_demo-30677189fe446e25: examples/sybil_attack_demo.rs
+
+examples/sybil_attack_demo.rs:

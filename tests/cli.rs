@@ -11,12 +11,25 @@ fn cli() -> Command {
 fn run_subcommand_reports_a_factor() {
     let out = cli()
         .args([
-            "run", "--nodes", "50", "--tasks", "2000", "--strategy", "random", "--trials", "3",
-            "--seed", "7",
+            "run",
+            "--nodes",
+            "50",
+            "--tasks",
+            "2000",
+            "--strategy",
+            "random",
+            "--trials",
+            "3",
+            "--seed",
+            "7",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("runtime factor"), "{stdout}");
     assert!(stdout.contains("random | 50 nodes, 2000 tasks"));
@@ -26,14 +39,23 @@ fn run_subcommand_reports_a_factor() {
 fn json_output_is_parseable() {
     let out = cli()
         .args([
-            "run", "--nodes", "40", "--tasks", "1000", "--strategy", "churn", "--churn", "0.02",
-            "--trials", "2", "--json",
+            "run",
+            "--nodes",
+            "40",
+            "--tasks",
+            "1000",
+            "--strategy",
+            "churn",
+            "--churn",
+            "0.02",
+            "--trials",
+            "2",
+            "--json",
         ])
         .output()
         .unwrap();
     assert!(out.status.success());
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON on --json");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON on --json");
     assert_eq!(v["strategy"], "churn");
     assert_eq!(v["nodes"], 40);
     assert!(v["mean_runtime_factor"].as_f64().unwrap() > 0.9);
@@ -45,7 +67,15 @@ fn strategies_subcommand_lists_all() {
     let out = cli().arg("strategies").output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for s in ["none", "churn", "random", "neighbor", "smart", "invitation", "oracle"] {
+    for s in [
+        "none",
+        "churn",
+        "random",
+        "neighbor",
+        "smart",
+        "invitation",
+        "oracle",
+    ] {
         assert!(stdout.contains(s), "missing {s} in {stdout}");
     }
 }
@@ -67,8 +97,15 @@ fn spec_subcommand_runs_a_json_experiment() {
         11,
     );
     std::fs::write(&spec_path, spec.to_json()).unwrap();
-    let out = cli().args(["spec", spec_path.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["spec", spec_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("experiment: cli-spec-test"));
     assert!(stdout.contains("invitation | 30 nodes, 600 tasks"));
@@ -84,7 +121,10 @@ fn bad_arguments_exit_nonzero_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
 
-    let out = cli().args(["spec", "/nonexistent/path.json"]).output().unwrap();
+    let out = cli()
+        .args(["spec", "/nonexistent/path.json"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 

@@ -53,6 +53,87 @@ fn parallel_batch_is_deterministic_under_any_thread_count() {
 }
 
 #[test]
+fn trait_dispatch_is_deterministic_for_every_strategy() {
+    // Strategies are now trait objects dispatched from a registry; the
+    // indirection must not cost determinism for any of them, alone or
+    // composed with background churn.
+    let kinds = StrategyKind::ALL
+        .iter()
+        .copied()
+        .chain([StrategyKind::CentralizedOracle]);
+    for kind in kinds {
+        for churn_rate in [0.0, 0.01] {
+            let cfg = SimConfig {
+                nodes: 60,
+                tasks: 6_000,
+                strategy: kind,
+                churn_rate,
+                record_events: true,
+                ..SimConfig::default()
+            };
+            let a = Sim::new(cfg.clone(), 123).run();
+            let b = Sim::new(cfg, 123).run();
+            assert_eq!(a, b, "{kind:?} with churn {churn_rate} must replay exactly");
+        }
+    }
+}
+
+#[test]
+fn composed_stack_is_deterministic_under_any_thread_count() {
+    // The StrategyStack composition the registry builds (background
+    // churn layered under a Sybil strategy) across rayon pools of
+    // different widths — scheduling must not leak into results.
+    for kind in [
+        StrategyKind::SmartNeighbor,
+        StrategyKind::Invitation,
+        StrategyKind::CentralizedOracle,
+    ] {
+        let cfg = SimConfig {
+            nodes: 60,
+            tasks: 6_000,
+            strategy: kind,
+            churn_rate: 0.02,
+            ..SimConfig::default()
+        };
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| run_trials(&cfg, 4, 9));
+        let multi = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| run_trials(&cfg, 4, 9));
+        assert_eq!(
+            single, multi,
+            "{kind:?} batch must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn protocol_substrate_is_deterministic() {
+    // The Chord-backed substrate gets the same guarantee as the oracle
+    // ring: replaying a seed replays every join, leave, and message.
+    use autobal::protocol_sim::{run_protocol_sim, ProtocolSimConfig};
+    let cfg = ProtocolSimConfig {
+        nodes: 32,
+        tasks: 1_600,
+        strategy: StrategyKind::SmartNeighbor,
+        churn_rate: 0.005,
+        record_events: true,
+        ..ProtocolSimConfig::default()
+    };
+    let a = run_protocol_sim(&cfg, 21);
+    let b = run_protocol_sim(&cfg, 21);
+    assert_eq!(a.ticks, b.ticks);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.sybils_created, b.sybils_created);
+    assert_eq!(a.events.events(), b.events.events());
+}
+
+#[test]
 fn run_result_serde_roundtrip() {
     let res = Sim::new(demo_cfg(), 5).run();
     let json = serde_json::to_string(&res).unwrap();

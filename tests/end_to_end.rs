@@ -71,7 +71,10 @@ fn strategy_ranking_matches_paper() {
 
     assert!(random < churn, "random {random} < churn {churn}");
     assert!(random < neighbor, "random {random} < neighbor {neighbor}");
-    assert!(random < invitation, "random {random} < invitation {invitation}");
+    assert!(
+        random < invitation,
+        "random {random} < invitation {invitation}"
+    );
     for (name, f) in [
         ("churn", churn),
         ("neighbor", neighbor),
@@ -122,7 +125,11 @@ fn heterogeneity_with_strength_consumption_hurts() {
 fn all_strategies_consume_every_task_exactly_once() {
     for strategy in StrategyKind::ALL {
         let c = SimConfig {
-            churn_rate: if strategy == StrategyKind::Churn { 0.02 } else { 0.0 },
+            churn_rate: if strategy == StrategyKind::Churn {
+                0.02
+            } else {
+                0.0
+            },
             ..cfg(80, 8_000, strategy)
         };
         for r in run_trials(&c, 3, 6) {

@@ -9,8 +9,7 @@ use autobal::stats::{gini, jain_index, Summary};
 use proptest::prelude::*;
 
 fn arb_id() -> impl Strategy<Value = Id> {
-    (any::<u64>(), any::<u64>(), any::<u64>())
-        .prop_map(|(a, b, c)| Id::from_limbs(a, b, c))
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c)| Id::from_limbs(a, b, c))
 }
 
 proptest! {

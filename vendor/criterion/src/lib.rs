@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`: the API subset the bench targets
+//! use, timing each closure with `Instant` and printing mean wall-clock
+//! time per iteration. No statistics, plots, or baselines — just
+//! enough to keep `cargo bench` runnable and the bench code honest.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted, not acted upon).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared throughput for a benchmark (accepted, printed as-is).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: u64,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up call outside the clock.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), self.sample_size));
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding setup
+    /// cost from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((total, self.sample_size));
+    }
+}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.to_string(), self.sample_size, f);
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.name, &id.to_string(), self.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+fn run_one(group: &str, id: &str, sample_size: u64, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size: sample_size.max(1),
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed / iters as u32;
+            println!("bench {group}/{id}: {per_iter:?}/iter ({iters} iters)");
+        }
+        _ => println!("bench {group}/{id}: no measurement"),
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one("top", &id.to_string(), self.default_sample_size, f);
+        self
+    }
+
+    /// Upstream-compatible configuration hook (accepted, unused).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

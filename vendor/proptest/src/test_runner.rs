@@ -1,0 +1,40 @@
+//! Test configuration and per-case control flow.
+
+use rand::SeedableRng;
+
+/// The RNG driving strategy generation (seeded per test fn).
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+pub fn new_rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        // Upstream defaults to 256; this subset trims the default so
+        // full-simulation properties stay fast, while explicit
+        // `with_cases` values are honored exactly.
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the sample; try the next case.
+    Reject,
+    /// `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}

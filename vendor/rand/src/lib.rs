@@ -1,0 +1,170 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The workspace pins its determinism to seeded [`SeedableRng`]
+//! implementations (see `rand_chacha`), so this vendored subset only
+//! needs to be *self-consistent*, not bit-identical to upstream rand.
+//! It provides the trait surface the workspace actually uses:
+//! [`RngCore`], [`Rng`] (`gen`, `gen_range`, `gen_bool`, `fill`),
+//! [`SeedableRng`] (`from_seed`, `seed_from_u64`), and [`thread_rng`].
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::SampleRange;
+use distributions::StandardSample;
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (sized or not), matching upstream rand's `R: Rng + ?Sized`
+/// caller idiom.
+pub trait Rng: RngCore {
+    /// Uniformly samples a value of type `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniformly samples from a `Range`/`RangeInclusive`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64, mirroring the
+    /// upstream convenience constructor (values differ; determinism
+    /// per seed is what matters).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A process-local generator seeded unpredictably (from the OS hasher
+/// entropy); use seeded RNGs everywhere determinism matters.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Step(u64);
+    impl RngCore for Step {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    fn dyn_range(rng: &mut (impl Rng + ?Sized), n: usize) -> usize {
+        rng.gen_range(0..n)
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Step(0);
+        for _ in 0..100 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unsized_rng_callers_compile() {
+        let mut rng = Step(7);
+        assert!(dyn_range(&mut rng, 9) < 9);
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = Step(99);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn thread_rng_produces_values() {
+        let mut rng = thread_rng();
+        let a: u64 = rng.gen();
+        let b: u64 = rng.gen();
+        // Not a determinism guarantee — just exercise the path.
+        let _ = (a, b);
+    }
+}

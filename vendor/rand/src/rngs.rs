@@ -1,0 +1,87 @@
+//! Concrete generators shipped with the crate.
+
+use crate::{RngCore, SeedableRng};
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// xoshiro-style 64-bit generator (xorshift64*): tiny, fast, and good
+/// enough for the non-reproducible `thread_rng` path and as a cheap
+/// seeded generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    fn from_u64(state: u64) -> SmallRng {
+        SmallRng {
+            // Never allow the all-zero fixed point.
+            state: state | 1,
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SmallRng::from_u64(u64::from_le_bytes(seed))
+    }
+}
+
+/// A per-call unpredictably-seeded generator; the stand-in for rand's
+/// thread-local handle. Each `thread_rng()` call derives fresh state
+/// from the std hasher's process entropy plus a global counter.
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    inner: SmallRng,
+}
+
+impl ThreadRng {
+    pub(crate) fn new() -> ThreadRng {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let mut hasher = RandomState::new().build_hasher();
+        hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+        ThreadRng {
+            inner: SmallRng::from_u64(hasher.finish()),
+        }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}

@@ -1,0 +1,33 @@
+//! Slice helpers (subset of rand's `seq` module).
+
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Uniformly picks one element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[idx])
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}

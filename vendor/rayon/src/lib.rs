@@ -1,0 +1,240 @@
+//! Offline stand-in for `rayon` (the subset the workspace uses).
+//!
+//! `into_par_iter().map(..).collect()` executes the mapped closure on
+//! scoped OS threads, one chunk per thread, and reassembles results in
+//! the original order — so results are deterministic regardless of the
+//! configured thread count, which is exactly the property the
+//! workspace's determinism tests pin down.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread count override installed by `ThreadPool::install`.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads the current scope would use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Something that can be turned into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator: a deferred computation producing an ordered
+/// sequence of items.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Drives the computation, returning items in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+}
+
+/// Parallel iterator over a materialized vector of items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = IntoParIter<$t>;
+
+            fn into_par_iter(self) -> IntoParIter<$t> {
+                IntoParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// Lazily mapped parallel iterator; the map closure runs on worker
+/// threads when driven.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Send + Sync,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<U> {
+        let items = self.base.drive();
+        let threads = current_num_threads().max(1);
+        if threads == 1 || items.len() <= 1 {
+            return items.into_iter().map(&self.f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let f = &self.f;
+        let mut out: Vec<Vec<U>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut iter = items.into_iter();
+            loop {
+                let batch: Vec<B::Item> = iter.by_ref().take(chunk).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                handles.push(scope.spawn(move || batch.into_iter().map(f).collect::<Vec<U>>()));
+            }
+            for handle in handles {
+                out.push(handle.join().expect("rayon worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+/// Builder mirroring rayon's, except pools are just a thread-count
+/// hint consumed by `install`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count configuration.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it drives.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|cell| {
+            let prev = cell.replace(Some(self.num_threads.max(1)));
+            let result = op();
+            cell.set(prev);
+            result
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_controls_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn single_and_multi_threaded_agree() {
+        let single: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (0u64..37).into_par_iter().map(|x| x * x).collect());
+        let multi: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| (0u64..37).into_par_iter().map(|x| x * x).collect());
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn sum_works() {
+        let total: u64 = (1u64..=10).collect::<Vec<_>>().into_par_iter().sum();
+        assert_eq!(total, 55);
+    }
+}

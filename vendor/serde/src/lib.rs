@@ -1,0 +1,350 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream's zero-copy visitor architecture, this vendored
+//! subset routes everything through one self-describing tree,
+//! [`Node`] — the only consumer in the workspace is `serde_json`
+//! (vendored alongside), and every impl is produced by the vendored
+//! `serde_derive`, so the trait shape is private API between the three
+//! crates. Public surface kept compatible: `serde::Serialize`,
+//! `serde::Deserialize` (as derive macros and trait bounds) and the
+//! `#[serde(default)]` / `#[serde(default = "path")]` field attributes.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The self-describing data-model tree every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Node>),
+    Object(Vec<(String, Node)>),
+}
+
+impl Node {
+    pub fn as_object(&self) -> Option<&[(String, Node)]> {
+        match self {
+            Node::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Node]> {
+        match self {
+            Node::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in an object's entry list (helper for derived code).
+pub fn __get<'a>(entries: &'a [(String, Node)], key: &str) -> Option<&'a Node> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    pub fn missing_field(field: &str, ty: &str) -> Error {
+        Error::custom(format!("missing field `{field}` in {ty}"))
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Error {
+        Error::custom(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    pub fn invalid_type(expected: &str, got: &Node) -> Error {
+        let got = match got {
+            Node::Null => "null",
+            Node::Bool(_) => "bool",
+            Node::U64(_) | Node::I64(_) | Node::F64(_) => "number",
+            Node::String(_) => "string",
+            Node::Array(_) => "array",
+            Node::Object(_) => "object",
+        };
+        Error::custom(format!("invalid type: expected {expected}, got {got}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be turned into a data-model [`Node`].
+pub trait Serialize {
+    fn to_node(&self) -> Node;
+}
+
+/// A value that can be rebuilt from a data-model [`Node`].
+pub trait Deserialize: Sized {
+    fn from_node(node: &Node) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_node(&self) -> Node {
+        (**self).to_node()
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Node {
+                Node::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_node(node: &Node) -> Result<Self, Error> {
+                let wide = match *node {
+                    Node::U64(v) => v,
+                    Node::I64(v) if v >= 0 => v as u64,
+                    Node::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                        v as u64
+                    }
+                    ref other => return Err(Error::invalid_type("unsigned integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Node {
+                let v = *self as i64;
+                if v >= 0 {
+                    Node::U64(v as u64)
+                } else {
+                    Node::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_node(node: &Node) -> Result<Self, Error> {
+                let wide = match *node {
+                    Node::I64(v) => v,
+                    Node::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Node::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => v as i64,
+                    ref other => return Err(Error::invalid_type("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_node(&self) -> Node {
+        Node::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match *node {
+            Node::F64(v) => Ok(v),
+            Node::U64(v) => Ok(v as f64),
+            Node::I64(v) => Ok(v as f64),
+            ref other => Err(Error::invalid_type("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_node(&self) -> Node {
+        Node::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        f64::from_node(node).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_node(&self) -> Node {
+        Node::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match *node {
+            Node::Bool(b) => Ok(b),
+            ref other => Err(Error::invalid_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_node(&self) -> Node {
+        Node::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::String(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_node(&self) -> Node {
+        Node::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_node(&self) -> Node {
+        Node::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::invalid_type("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_node(&self) -> Node {
+        match self {
+            Some(v) => v.to_node(),
+            None => Node::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::Null => Ok(None),
+            other => T::from_node(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_node(&self) -> Node {
+        Node::Array(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::Array(items) => items.iter().map(T::from_node).collect(),
+            other => Err(Error::invalid_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_node(&self) -> Node {
+        Node::Array(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_node(&self) -> Node {
+        Node::Array(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        let items = Vec::<T>::from_node(node)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl Serialize for Node {
+    fn to_node(&self) -> Node {
+        self.clone()
+    }
+}
+
+impl Deserialize for Node {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        Ok(node.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_node(&42u64.to_node()).unwrap(), 42);
+        assert_eq!(i64::from_node(&(-3i64).to_node()).unwrap(), -3);
+        assert_eq!(f64::from_node(&1.5f64.to_node()).unwrap(), 1.5);
+        assert!(bool::from_node(&true.to_node()).unwrap());
+        assert_eq!(
+            String::from_node(&"hi".to_string().to_node()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_node(), Node::Null);
+        assert_eq!(Option::<u64>::from_node(&Node::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_node(&Node::U64(9)).unwrap(), Some(9u64));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let limbs = [1u64, 2, 3];
+        let node = limbs.to_node();
+        assert_eq!(<[u64; 3]>::from_node(&node).unwrap(), limbs);
+        assert!(<[u64; 2]>::from_node(&node).is_err());
+    }
+
+    #[test]
+    fn cross_numeric_coercions() {
+        assert_eq!(f64::from_node(&Node::U64(2)).unwrap(), 2.0);
+        assert_eq!(u64::from_node(&Node::F64(2.0)).unwrap(), 2);
+        assert!(u64::from_node(&Node::F64(2.5)).is_err());
+        assert!(u8::from_node(&Node::U64(300)).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Derive macros for the vendored `serde` data model.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no syn/quote — the
+//! registry is unreachable in this environment). Supports exactly what
+//! the workspace uses:
+//!
+//! - named-field structs (non-generic)
+//! - enums with unit and struct variants, externally tagged
+//!   (`"Variant"` / `{"Variant": {…}}`)
+//! - field attributes `#[serde(default)]` and `#[serde(default = "path")]`
+//! - `Option<T>` fields deserialize to `None` when missing
+//!
+//! The generated code only ever calls `::serde::Serialize::to_node` /
+//! `::serde::Deserialize::from_node`, so field *types* never need to be
+//! understood — type inference fills them in at the use site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => serialize_struct(&item.name, fields),
+        Kind::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_node(&self) -> ::serde::Node {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+        body = body
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => deserialize_struct(&item.name, fields),
+        Kind::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_node(node: &::serde::Node) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+        body = body
+    );
+    out.parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- model
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `Some(None)` for `#[serde(default)]`, `Some(Some(path))` for
+    /// `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    /// Whether the declared type's head is `Option` (missing → None).
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+// --------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic types are not supported ({name})");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            panic!("serde derive: expected braced body for {name}, got {other:?} (tuple/unit items unsupported)")
+        }
+    };
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Advances past attributes (recording nothing) and any `pub`/`pub(..)`.
+fn skip_attributes_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + [...]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Scans the attributes preceding a field/variant and extracts the
+/// serde `default` configuration, leaving `i` on the first
+/// non-attribute token.
+fn take_serde_default(tokens: &[TokenTree], i: &mut usize) -> Option<Option<String>> {
+    let mut default = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) else {
+            panic!("serde derive: dangling `#`");
+        };
+        *i += 2;
+        let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        match args.first() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "default" => {
+                if let Some(TokenTree::Literal(lit)) = args.get(2) {
+                    let text = lit.to_string();
+                    let path = text.trim_matches('"').to_string();
+                    default = Some(Some(path));
+                } else {
+                    default = Some(None);
+                }
+            }
+            Some(other) => panic!("serde derive: unsupported serde attribute {other}"),
+            None => {}
+        }
+    }
+    default
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = take_serde_default(&tokens, &mut i);
+        skip_attributes_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma, tracking
+        // angle-bracket depth (`Vec<Vec<u64>>` arrives as single `>`s).
+        let mut depth = 0i32;
+        let mut head = String::new();
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            if head.is_empty() {
+                if let TokenTree::Ident(id) = tok {
+                    head = id.to_string();
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        let is_option = head == "Option";
+        fields.push(Field {
+            name,
+            default,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple variant `{name}` unsupported")
+            }
+            _ => None,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde derive: explicit discriminants unsupported")
+            }
+            None => {}
+            other => panic!("serde derive: expected `,` after variant, got {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn serialize_fields_expr(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Node)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::to_node({prefix}{name})));\n",
+            name = f.name,
+            prefix = access_prefix
+        ));
+    }
+    out.push_str("::serde::Node::Object(__fields) }");
+    out
+}
+
+fn serialize_struct(_name: &str, fields: &[Field]) -> String {
+    serialize_fields_expr(fields, "&self.")
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Node::String(::std::string::String::from(\"{v}\")),\n",
+                v = v.name
+            )),
+            Some(fields) => {
+                let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let inner = serialize_fields_expr(fields, "");
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Node::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), {inner})]),\n",
+                    v = v.name,
+                    binds = bindings.join(", "),
+                    inner = inner
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+/// Builds the `field: <expr>` initializers for a braced constructor,
+/// reading from an object entry slice named `__obj`.
+fn deserialize_field_inits(fields: &[Field], ty: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+            None if f.is_option => "::std::option::Option::None".to_string(),
+            None => format!(
+                "return ::std::result::Result::Err(\
+                 ::serde::Error::missing_field(\"{name}\", \"{ty}\"))",
+                name = f.name
+            ),
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::__get(__obj, \"{name}\") {{\n\
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_node(__v)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name
+        ));
+    }
+    out
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    format!(
+        "let __obj = node.as_object().ok_or_else(|| \
+             ::serde::Error::invalid_type(\"object for struct {name}\", node))?;\n\
+         ::std::result::Result::Ok({name} {{\n{inits}}})",
+        inits = deserialize_field_inits(fields, name)
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut struct_arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => unit_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                v = v.name
+            )),
+            Some(fields) => struct_arms.push_str(&format!(
+                "\"{v}\" => {{\n\
+                     let __obj = __inner.as_object().ok_or_else(|| \
+                         ::serde::Error::invalid_type(\"object for variant {v}\", __inner))?;\n\
+                     ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n\
+                 }}\n",
+                v = v.name,
+                inits = deserialize_field_inits(fields, name)
+            )),
+        }
+    }
+    format!(
+        "match node {{\n\
+             ::serde::Node::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                     ::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+             }},\n\
+             ::serde::Node::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {struct_arms}\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::Error::invalid_type(\"string or single-key object for enum {name}\", \
+                 __other)),\n\
+         }}"
+    )
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for `serde_json`, built over the vendored `serde`
+//! data model. Provides `to_string[_pretty]`, `from_str`, `from_slice`,
+//! and a queryable [`Value`] with indexing and comparison sugar.
+//!
+//! Floats are written with Rust's shortest-roundtrip formatting and
+//! parsed with `str::parse::<f64>`, so `T → JSON → T` preserves every
+//! finite `f64` bit-for-bit — the property the workspace's determinism
+//! tests rely on.
+
+mod parse;
+mod value;
+mod write;
+
+pub use value::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::new(e)
+    }
+}
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.to_node()))
+}
+
+/// Serializes a value as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.to_node()))
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let node = parse::parse(s)?;
+    Ok(T::from_node(&node)?)
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(Value::of_node(value.to_node()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip_preserves_floats() {
+        for f in [0.1f64, 1.0, 1e20, -3.25, 0.30000000000000004, f64::MIN] {
+            let json = to_string(&f).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn integers_and_strings_roundtrip() {
+        let json = to_string(&u64::MAX).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), u64::MAX);
+        let s = "he said \"hi\"\n\t\\ done ✓".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn vectors_and_options_roundtrip() {
+        let v: Vec<Option<u64>> = vec![Some(1), None, Some(3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u64>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn value_indexing_and_comparisons() {
+        let v: Value = from_str(r#"{"name":"churn","nodes":40,"f":1.5,"zero":0}"#).unwrap();
+        assert_eq!(v["name"], "churn");
+        assert_eq!(v["nodes"], 40);
+        assert_eq!(v["zero"], 0);
+        assert!(v["missing"].is_null());
+        assert_eq!(v["f"].as_f64().unwrap(), 1.5);
+        assert_eq!(v["nodes"].as_u64().unwrap(), 40);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let v: Vec<Vec<u64>> = vec![vec![1, 2], vec![]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  "));
+        assert_eq!(from_str::<Vec<Vec<u64>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u64>("not json").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<u64>("12 trailing").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = from_str("\"a\\u0041\\u00e9\\ud83d\\ude00b\"").unwrap();
+        assert_eq!(s, "aAé😀b");
+    }
+}

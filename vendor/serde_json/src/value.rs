@@ -1,0 +1,198 @@
+//! A queryable JSON tree with the ergonomic sugar tests rely on
+//! (`v["key"]`, `v["n"] == 40`, `.as_f64()`).
+
+use serde::{Deserialize, Error as SerdeError, Node, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub(crate) fn of_node(node: Node) -> Value {
+        match node {
+            Node::Null => Value::Null,
+            Node::Bool(b) => Value::Bool(b),
+            Node::U64(v) => Value::U64(v),
+            Node::I64(v) => Value::I64(v),
+            Node::F64(v) => Value::F64(v),
+            Node::String(s) => Value::String(s),
+            Node::Array(items) => Value::Array(items.into_iter().map(Value::of_node).collect()),
+            Node::Object(entries) => Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::of_node(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn to_node_inner(&self) -> Node {
+        match self {
+            Value::Null => Node::Null,
+            Value::Bool(b) => Node::Bool(*b),
+            Value::U64(v) => Node::U64(*v),
+            Value::I64(v) => Node::I64(*v),
+            Value::F64(v) => Node::F64(*v),
+            Value::String(s) => Node::String(s.clone()),
+            Value::Array(items) => Node::Array(items.iter().map(Value::to_node_inner).collect()),
+            Value::Object(entries) => Node::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_node_inner()))
+                    .collect(),
+            ),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match i64::try_from(*other) {
+                    Ok(v) => self.as_i64() == Some(v),
+                    Err(_) => self.as_u64() == <u64>::try_from(*other).ok(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for Value {
+    fn to_node(&self) -> Node {
+        self.to_node_inner()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_node(node: &Node) -> Result<Self, SerdeError> {
+        Ok(Value::of_node(node.clone()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::write::compact(&self.to_node_inner()))
+    }
+}

@@ -1,0 +1,104 @@
+//! JSON text emission (compact and pretty).
+
+use serde::Node;
+
+pub(crate) fn compact(node: &Node) -> String {
+    let mut out = String::new();
+    write_node(&mut out, node, None, 0);
+    out
+}
+
+pub(crate) fn pretty(node: &Node) -> String {
+    let mut out = String::new();
+    write_node(&mut out, node, Some(2), 0);
+    out
+}
+
+fn newline(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_node(out: &mut String, node: &Node, indent: Option<usize>, level: usize) {
+    match node {
+        Node::Null => out.push_str("null"),
+        Node::Bool(true) => out.push_str("true"),
+        Node::Bool(false) => out.push_str("false"),
+        Node::U64(v) => out.push_str(&v.to_string()),
+        Node::I64(v) => out.push_str(&v.to_string()),
+        Node::F64(v) => write_f64(out, *v),
+        Node::String(s) => write_string(out, s),
+        Node::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, level + 1);
+                write_node(out, item, indent, level + 1);
+            }
+            newline(out, indent, level);
+            out.push(']');
+        }
+        Node::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_node(out, value, indent, level + 1);
+            }
+            newline(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+/// Shortest-roundtrip float formatting; always keeps a numeric JSON
+/// token (Rust's `{:?}` already emits `1.0`-style for integral floats
+/// and `1e20`-style only where exact).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        // JSON has no non-finite literals; null is serde_json's lossy
+        // convention too.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
