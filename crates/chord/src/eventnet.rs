@@ -15,8 +15,10 @@
 //! * genuinely concurrent joins/failures between maintenance rounds,
 //! * message loss on dead nodes and the resulting lookup timeouts.
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::messages::MessageStats;
 use autobal_id::{ring, Id, ID_BITS};
+use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
@@ -137,6 +139,16 @@ pub struct AsyncLookup {
     pub hops: u32,
 }
 
+/// An in-flight lookup: what was asked, when, by whom, and how many
+/// times it has been (re)issued.
+#[derive(Debug, Clone, Copy)]
+struct PendingLookup {
+    key: Id,
+    sent_at: u64,
+    origin: Id,
+    attempts: u32,
+}
+
 /// The event-driven overlay.
 pub struct EventNet {
     cfg: EventConfig,
@@ -145,13 +157,17 @@ pub struct EventNet {
     queue: BinaryHeap<Reverse<(u64, u64)>>,
     payloads: HashMap<u64, (Id, Msg)>,
     nodes: BTreeMap<Id, ENode>,
-    pending: HashMap<u64, (Id, u64)>, // req -> (key, sent_at)
+    pending: HashMap<u64, PendingLookup>,
     completed: Vec<AsyncLookup>,
     next_req: u64,
     /// Messages that died with their recipient.
     pub dropped: u64,
     /// Delivered-message counters by kind (reusing the sync taxonomy).
     pub stats: MessageStats,
+    /// Armed fault plan (inert unless [`EventNet::set_fault_plan`]).
+    faults: FaultState,
+    /// High-water mark for already-applied scheduled crashes.
+    crash_clock: u64,
 }
 
 impl EventNet {
@@ -169,6 +185,8 @@ impl EventNet {
             next_req: 0,
             dropped: 0,
             stats: MessageStats::new(),
+            faults: FaultState::inert(),
+            crash_clock: 0,
         };
         while net.nodes.len() < n {
             let id = Id::random(rng);
@@ -203,6 +221,20 @@ impl EventNet {
             net.send_at(net.time + jitter + 1, id, Msg::StabilizeTimer);
         }
         net
+    }
+
+    /// Arms a fault plan for the rest of the run. Scheduled crash times
+    /// earlier than the current clock are considered already consumed.
+    /// The default plan is inert, so untouched networks behave exactly
+    /// as they did before the fault plane existed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(plan);
+        self.crash_clock = self.time;
+    }
+
+    /// The currently armed plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
     }
 
     /// Current simulation time.
@@ -266,7 +298,15 @@ impl EventNet {
     fn start_lookup_from(&mut self, origin: Id, key: Id) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
-        self.pending.insert(req, (key, self.time));
+        self.pending.insert(
+            req,
+            PendingLookup {
+                key,
+                sent_at: self.time,
+                origin,
+                attempts: 1,
+            },
+        );
         // Self-delivery kicks off routing locally at +0 latency.
         self.deliver_local(
             origin,
@@ -295,6 +335,7 @@ impl EventNet {
             if at > deadline {
                 break;
             }
+            self.apply_due_crashes(at.min(deadline));
             self.queue.pop();
             let (dst, msg) = match self.payloads.remove(&seq) {
                 Some(p) => p,
@@ -304,11 +345,30 @@ impl EventNet {
             processed += 1;
             self.handle(dst, msg);
         }
+        self.apply_due_crashes(deadline);
         self.time = self.time.max(deadline);
         processed
     }
 
     // ---- internals --------------------------------------------------
+
+    /// Executes scheduled crash events whose time has come, picking
+    /// victims from the fault stream. Always leaves at least one node.
+    fn apply_due_crashes(&mut self, upto: u64) {
+        if self.faults.plan().crashes.is_empty() || upto <= self.crash_clock {
+            return;
+        }
+        let due = self.faults.crashes_due(self.crash_clock, upto);
+        self.crash_clock = upto;
+        for _ in 0..due {
+            if self.nodes.len() <= 1 {
+                break;
+            }
+            let ids = self.node_ids();
+            let idx = self.faults.rng().gen_range(0..ids.len());
+            self.nodes.remove(&ids[idx]);
+        }
+    }
 
     fn send_at(&mut self, at: u64, dst: Id, msg: Msg) {
         let seq = self.seq;
@@ -317,8 +377,22 @@ impl EventNet {
         self.payloads.insert(seq, (dst, msg));
     }
 
-    fn send(&mut self, dst: Id, msg: Msg) {
-        let at = self.time + self.cfg.latency;
+    /// A real wire message from `from` to `dst`: subject to loss,
+    /// duplication, extra delay, and partitions. Local timers bypass
+    /// this and use [`EventNet::send_at`] directly — a node can always
+    /// talk to itself.
+    fn send(&mut self, from: Id, dst: Id, msg: Msg) {
+        let mut at = self.time + self.cfg.latency;
+        if self.faults.is_active() {
+            if self.faults.partitioned(self.time, from, dst) || self.faults.lose_message() {
+                self.stats.dropped += 1;
+                return;
+            }
+            at += self.faults.extra_delay();
+            if self.faults.duplicate_message() {
+                self.send_at(at + 1, dst, msg.clone());
+            }
+        }
         self.send_at(at, dst, msg);
     }
 
@@ -350,6 +424,7 @@ impl EventNet {
                 if ring::in_arc(node.id, succ, key) && self.nodes.contains_key(&succ) {
                     // The successor owns it; reply straight to origin.
                     self.send(
+                        dst,
                         origin,
                         Msg::FoundSuccessor {
                             key,
@@ -362,6 +437,7 @@ impl EventNet {
                     && ring::in_arc(node.predecessor.unwrap(), node.id, key)
                 {
                     self.send(
+                        dst,
                         origin,
                         Msg::FoundSuccessor {
                             key,
@@ -377,6 +453,7 @@ impl EventNet {
                         .unwrap_or(succ);
                     if next == dst {
                         self.send(
+                            dst,
                             origin,
                             Msg::FoundSuccessor {
                                 key,
@@ -387,6 +464,7 @@ impl EventNet {
                         );
                     } else {
                         self.send(
+                            dst,
                             next,
                             Msg::FindSuccessor {
                                 key,
@@ -404,13 +482,13 @@ impl EventNet {
                 req,
                 hops,
             } => {
-                if let Some((k, sent_at)) = self.pending.remove(&req) {
-                    debug_assert_eq!(k, key);
+                if let Some(p) = self.pending.remove(&req) {
+                    debug_assert_eq!(p.key, key);
                     self.completed.push(AsyncLookup {
                         req,
                         key,
                         owner: Some(owner),
-                        latency: self.time - sent_at,
+                        latency: self.time - p.sent_at,
                         hops,
                     });
                     // A lookup for one's own id is a join completing:
@@ -420,20 +498,56 @@ impl EventNet {
                         node.successors.retain(|&s| s != owner);
                         node.successors.insert(0, owner);
                         node.successors.truncate(self.cfg.successor_list_len);
-                        self.send(owner, Msg::Notify { from: dst });
+                        self.send(dst, owner, Msg::Notify { from: dst });
                     }
                 }
             }
             Msg::LookupTimeout { req } => {
-                if let Some((key, sent_at)) = self.pending.remove(&req) {
-                    self.completed.push(AsyncLookup {
+                let Some(p) = self.pending.get(&req).copied() else {
+                    return;
+                };
+                // Under an active fault plan the reply may simply have
+                // been eaten: re-issue the lookup with exponential
+                // backoff until the attempt budget runs out. Without
+                // faults, a timeout means routing truly failed (dead
+                // nodes), and retrying would only repeat it.
+                let budget = self.faults.plan().max_attempts.max(1);
+                if self.faults.is_active()
+                    && p.attempts < budget
+                    && self.nodes.contains_key(&p.origin)
+                {
+                    self.stats.retries += 1;
+                    self.pending.insert(
                         req,
-                        key,
-                        owner: None,
-                        latency: self.time - sent_at,
-                        hops: 0,
-                    });
+                        PendingLookup {
+                            attempts: p.attempts + 1,
+                            ..p
+                        },
+                    );
+                    self.deliver_local(
+                        p.origin,
+                        Msg::FindSuccessor {
+                            key: p.key,
+                            origin: p.origin,
+                            req,
+                            hops: 0,
+                        },
+                    );
+                    // Wait twice as long before the next check.
+                    let wait = self.cfg.lookup_timeout << p.attempts.min(16);
+                    let at = self.time + wait;
+                    self.send_at(at, p.origin, Msg::LookupTimeout { req });
+                    return;
                 }
+                self.pending.remove(&req);
+                self.stats.timeouts += 1;
+                self.completed.push(AsyncLookup {
+                    req,
+                    key: p.key,
+                    owner: None,
+                    latency: self.time - p.sent_at,
+                    hops: 0,
+                });
             }
             Msg::StabilizeTimer => {
                 self.stats.record(MK::Stabilize);
@@ -442,7 +556,7 @@ impl EventNet {
                 // finds nobody home, and skipped on the next timer.
                 let succ = self.nodes.get(&dst).unwrap().successor();
                 if succ != dst && self.nodes.contains_key(&succ) {
-                    self.send(succ, Msg::GetPredecessor { from: dst });
+                    self.send(dst, succ, Msg::GetPredecessor { from: dst });
                 } else if succ != dst {
                     // Successor dead: fall to the next list entry.
                     let node = self.nodes.get_mut(&dst).unwrap();
@@ -478,7 +592,7 @@ impl EventNet {
                     pred: node.predecessor,
                     succ_list: node.successors.clone(),
                 };
-                self.send(from, reply);
+                self.send(dst, from, reply);
             }
             Msg::PredecessorIs {
                 of,
@@ -509,7 +623,7 @@ impl EventNet {
                 let new_succ = self.nodes[&dst].successor();
                 if new_succ != dst {
                     self.stats.record(crate::messages::MessageKind::Notify);
-                    self.send(new_succ, Msg::Notify { from: dst });
+                    self.send(dst, new_succ, Msg::Notify { from: dst });
                 }
             }
             Msg::Notify { from } => {
@@ -691,6 +805,120 @@ mod tests {
             "stabilize fired {} times",
             after - before
         );
+    }
+
+    #[test]
+    fn lossy_links_are_survived_by_lookup_retries() {
+        use crate::fault::FaultPlan;
+        let mut net = EventNet::bootstrap(EventConfig::default(), 64, &mut rng(20));
+        net.set_fault_plan(FaultPlan {
+            loss_rate: 0.20,
+            dup_rate: 0.10,
+            delay_rate: 0.20,
+            extra_delay: 25,
+            seed: 77,
+            // A whole recursive chain must survive per attempt; at 20%
+            // loss that is ~40% per try, so give the budget headroom.
+            max_attempts: 5,
+            ..FaultPlan::default()
+        });
+        let origin = net.node_ids()[0];
+        let mut reqs = Vec::new();
+        let mut truths = Vec::new();
+        for i in 0..40u64 {
+            let key = sha1_id_of_u64(i);
+            truths.push(net.owner_of(key).unwrap());
+            reqs.push(net.lookup(origin, key).unwrap());
+        }
+        // Generous horizon: retries back off exponentially, so five
+        // attempts need 2000·(1+2+4+8+16) = 62k time units plus slack.
+        net.run_until(80_000);
+        let done = drain_app_lookups(&mut net, &reqs);
+        assert_eq!(done.len(), 40, "every lookup completes or times out");
+        let ok = done.iter().filter(|l| l.owner.is_some()).count();
+        assert!(ok >= 33, "resolved under 20% loss with retries: {ok}/40");
+        for l in done.iter().filter(|l| l.owner.is_some()) {
+            let idx = reqs.iter().position(|r| *r == l.req).unwrap();
+            assert_eq!(l.owner, Some(truths[idx]), "correct despite faults");
+        }
+        assert!(net.stats.dropped > 0, "the plan really dropped messages");
+        assert!(net.stats.retries > 0, "timeouts triggered re-issues");
+    }
+
+    #[test]
+    fn scheduled_crashes_fire_and_ring_recovers() {
+        use crate::fault::{CrashEvent, FaultPlan};
+        let cfg = EventConfig::default();
+        let mut net = EventNet::bootstrap(cfg, 48, &mut rng(21));
+        net.set_fault_plan(FaultPlan {
+            crashes: vec![
+                CrashEvent { at: 500, count: 3 },
+                CrashEvent {
+                    at: 1_500,
+                    count: 3,
+                },
+            ],
+            seed: 5,
+            ..FaultPlan::default()
+        });
+        net.run_until(400);
+        assert_eq!(net.len(), 48, "nothing crashes early");
+        net.run_until(1_000);
+        assert_eq!(net.len(), 45, "first crash wave");
+        net.run_until(cfg.stabilize_every * 50);
+        assert_eq!(net.len(), 42, "second crash wave");
+        assert!(net.is_ring_consistent(), "stabilization healed the ring");
+    }
+
+    #[test]
+    fn partition_window_splits_then_heals() {
+        use crate::fault::{FaultPlan, Partition};
+        let cfg = EventConfig::default();
+        let mut net = EventNet::bootstrap(cfg, 32, &mut rng(22));
+        net.set_fault_plan(FaultPlan {
+            partitions: vec![Partition {
+                start: 0,
+                end: 3_000,
+            }],
+            seed: 9,
+            ..FaultPlan::default()
+        });
+        // During the cut plenty of traffic dies.
+        net.run_until(3_000);
+        let dropped_during = net.stats.dropped;
+        assert!(dropped_during > 0, "cross-cut traffic is eaten");
+        // After healing, stabilization repairs any damage.
+        net.run_until(3_000 + cfg.stabilize_every * 40);
+        assert!(net.is_ring_consistent(), "ring heals after the window");
+    }
+
+    #[test]
+    fn identical_fault_seeds_replay_identically() {
+        use crate::fault::{CrashEvent, FaultPlan};
+        let plan = FaultPlan {
+            loss_rate: 0.15,
+            dup_rate: 0.05,
+            crashes: vec![CrashEvent { at: 800, count: 2 }],
+            seed: 31,
+            ..FaultPlan::default()
+        };
+        let run = |p: FaultPlan| {
+            let mut net = EventNet::bootstrap(EventConfig::default(), 40, &mut rng(23));
+            net.set_fault_plan(p);
+            let origin = net.node_ids()[0];
+            for i in 0..30u64 {
+                net.lookup(origin, sha1_id_of_u64(i));
+            }
+            net.run_until(15_000);
+            let mut done = net.take_completed();
+            done.sort_by_key(|l| l.req);
+            (done, net.node_ids(), net.stats.clone())
+        };
+        let (a_done, a_ids, a_stats) = run(plan.clone());
+        let (b_done, b_ids, b_stats) = run(plan);
+        assert_eq!(a_done, b_done);
+        assert_eq!(a_ids, b_ids, "same crash victims");
+        assert_eq!(a_stats, b_stats);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod eventnet;
+pub mod fault;
 pub mod kv;
 pub mod maintenance;
 pub mod messages;
@@ -51,6 +52,7 @@ pub mod node;
 pub mod routing;
 
 pub use eventnet::{AsyncLookup, EventConfig, EventNet};
+pub use fault::{CrashEvent, FaultPlan, FaultState, Partition};
 pub use messages::{MessageKind, MessageStats};
-pub use network::{LookupResult, NetConfig, Network, NetworkError};
+pub use network::{FailReport, LookupResult, NetConfig, Network, NetworkError, RewireReport};
 pub use node::Node;

@@ -90,13 +90,20 @@ impl Network {
         }
     }
 
-    /// Chord `stabilize` + `notify` for one node.
+    /// Chord `stabilize` + `notify` for one node. Under an active fault
+    /// plan either probe can be lost; the sub-step is then skipped for
+    /// this cycle and retried naturally on the next one — maintenance
+    /// never wedges on a dropped message.
     fn stabilize_one(&mut self, id: autobal_id::Id) {
         let succ = match self.first_live_successor(id) {
             Some(s) => s,
             None => return,
         };
-        self.stats.record(MessageKind::Stabilize);
+        if succ == id {
+            self.stats.record(MessageKind::Stabilize);
+        } else if self.deliver(MessageKind::Stabilize, id, succ).is_err() {
+            return;
+        }
         if succ != id {
             // x = successor.predecessor; adopt it if it sits between us.
             let x = self.nodes[&succ].predecessor();
@@ -111,7 +118,9 @@ impl Network {
         // notify(new successor, self)
         let succ = self.nodes[&id].successor();
         if succ != id && self.nodes.contains_key(&succ) {
-            self.stats.record(MessageKind::Notify);
+            if self.deliver(MessageKind::Notify, id, succ).is_err() {
+                return;
+            }
             let plen = self.cfg.predecessor_list_len;
             let s = self.nodes.get_mut(&succ).unwrap();
             let cur_pred = s.predecessor();
@@ -129,8 +138,12 @@ impl Network {
     /// predecessor list, keeping ours fresh.
     fn refresh_lists(&mut self, id: autobal_id::Id) {
         let succ = self.nodes[&id].successor();
-        if succ != id && self.nodes.contains_key(&succ) {
-            self.stats.record(MessageKind::SuccessorListPull);
+        if succ != id
+            && self.nodes.contains_key(&succ)
+            && self
+                .deliver(MessageKind::SuccessorListPull, id, succ)
+                .is_ok()
+        {
             let pulled: Vec<autobal_id::Id> = {
                 let s = &self.nodes[&succ];
                 let mut list = vec![succ];
@@ -146,8 +159,12 @@ impl Network {
             self.nodes.get_mut(&id).unwrap().successors = pulled;
         }
         let pred = self.nodes[&id].predecessor();
-        if pred != id && self.nodes.contains_key(&pred) {
-            self.stats.record(MessageKind::SuccessorListPull);
+        if pred != id
+            && self.nodes.contains_key(&pred)
+            && self
+                .deliver(MessageKind::SuccessorListPull, id, pred)
+                .is_ok()
+        {
             let pulled: Vec<autobal_id::Id> = {
                 let p = &self.nodes[&pred];
                 let mut list = vec![pred];
@@ -174,7 +191,13 @@ impl Network {
                 (k, node.finger_target(k))
             };
             self.stats.record(MessageKind::FixFinger);
-            let resolved = self.lookup(id, target).ok().map(|r| r.owner);
+            let resolved = match self.lookup(id, target) {
+                Ok(r) => Some(r.owner),
+                // A fault-plane timeout says nothing about the old
+                // entry; keep it rather than tearing a working finger.
+                Err(crate::network::NetworkError::TimedOut { .. }) => self.nodes[&id].fingers[k],
+                Err(_) => None,
+            };
             let node = self.nodes.get_mut(&id).unwrap();
             node.fingers[k] = resolved;
             node.next_finger = (k + 1) % node.fingers.len();
@@ -196,7 +219,11 @@ impl Network {
             (node.keys.clone(), node.store.clone(), targets)
         };
         for t in targets {
-            self.stats.record(MessageKind::ReplicaPush);
+            // A lost push leaves the target's previous (stale) replica
+            // in place — strictly less fresh, never less safe.
+            if self.deliver(MessageKind::ReplicaPush, id, t).is_err() {
+                continue;
+            }
             let tgt = self.nodes.get_mut(&t).unwrap();
             tgt.replicas.insert(id, keys.clone());
             tgt.replica_store.insert(id, store.clone());

@@ -50,6 +50,19 @@ pub struct MessageStats {
     pub invitation: u64,
     pub store_value: u64,
     pub fetch_value: u64,
+    // ---- fault-plane meta-counters -------------------------------
+    // These describe what happened *to* messages rather than being
+    // message kinds themselves, so they are excluded from `total()`
+    // (each retry already re-records its underlying kind above; a
+    // dropped message was recorded when it was sent).
+    /// Resends triggered by the retry/backoff machinery.
+    pub retries: u64,
+    /// Operations that exhausted their attempt budget.
+    pub timeouts: u64,
+    /// Messages eaten by the fault plane (loss or partition).
+    pub dropped: u64,
+    /// Task keys permanently lost to crash-failures (no live replica).
+    pub keys_lost: u64,
 }
 
 impl MessageStats {
@@ -117,6 +130,10 @@ impl MessageStats {
         self.invitation += other.invitation;
         self.store_value += other.store_value;
         self.fetch_value += other.fetch_value;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.dropped += other.dropped;
+        self.keys_lost += other.keys_lost;
     }
 }
 
@@ -177,5 +194,23 @@ mod tests {
             s.record(k);
         }
         assert_eq!(s.total(), kinds.len() as u64);
+    }
+
+    #[test]
+    fn meta_counters_merge_but_stay_out_of_total() {
+        let mut a = MessageStats::new();
+        a.retries = 3;
+        a.dropped = 2;
+        let mut b = MessageStats::new();
+        b.retries = 1;
+        b.timeouts = 4;
+        b.keys_lost = 7;
+        b.record(MessageKind::Ping);
+        a.merge(&b);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.timeouts, 4);
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.keys_lost, 7);
+        assert_eq!(a.total(), 1, "only the ping is a message");
     }
 }

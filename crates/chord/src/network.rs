@@ -1,6 +1,7 @@
 //! The simulated Chord network: node container, membership, key
 //! placement, and iterative lookups with message accounting.
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::messages::{MessageKind, MessageStats};
 use crate::node::Node;
 use autobal_id::{ring, Id, ID_BITS};
@@ -45,6 +46,9 @@ pub enum NetworkError {
     UnknownNode(Id),
     /// Routing did not converge within `max_lookup_hops`.
     LookupFailed { hops: u32 },
+    /// The fault plane ate every attempt: retries exhausted without an
+    /// answer (message loss) or the peer sits behind an open partition.
+    TimedOut { attempts: u32 },
 }
 
 impl std::fmt::Display for NetworkError {
@@ -55,6 +59,9 @@ impl std::fmt::Display for NetworkError {
             NetworkError::UnknownNode(id) => write!(f, "unknown node {id}"),
             NetworkError::LookupFailed { hops } => {
                 write!(f, "lookup failed to converge after {hops} hops")
+            }
+            NetworkError::TimedOut { attempts } => {
+                write!(f, "operation timed out after {attempts} attempts")
             }
         }
     }
@@ -73,16 +80,43 @@ pub struct LookupResult {
     pub path: Vec<Id>,
 }
 
+/// What a ground-truth rewire found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewireReport {
+    /// Keys that only survived inside replicas of dead owners and were
+    /// re-inserted at their rightful owners.
+    pub keys_rescued: u64,
+    /// Dead-owner replica entries dropped after rescue.
+    pub stale_replicas_purged: u64,
+}
+
+/// What an abrupt [`Network::fail`] took with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailReport {
+    /// Primary keys with no live replica anywhere: permanently gone.
+    /// Also billed to [`MessageStats::keys_lost`].
+    pub keys_lost: u64,
+    /// Primary keys covered by at least one live replica; maintenance
+    /// will promote them back.
+    pub keys_recoverable: u64,
+}
+
 /// A whole simulated Chord overlay.
 ///
 /// Nodes are owned by the network and communicate through it; every
-/// simulated RPC bumps [`Network::stats`].
+/// simulated RPC bumps [`Network::stats`]. An optional [`FaultPlan`]
+/// (inert by default) makes message delivery fallible.
 #[derive(Debug, Clone)]
 pub struct Network {
     pub(crate) cfg: NetConfig,
     pub(crate) nodes: BTreeMap<Id, Node>,
     /// Message counters for the lifetime of the network.
     pub stats: MessageStats,
+    /// The armed fault plan (inert unless [`Network::set_fault_plan`]).
+    pub(crate) faults: FaultState,
+    /// Harness-driven clock used only to evaluate partition windows;
+    /// the synchronous substrate otherwise has no notion of time.
+    pub(crate) clock: u64,
 }
 
 impl Network {
@@ -92,7 +126,83 @@ impl Network {
             cfg,
             nodes: BTreeMap::new(),
             stats: MessageStats::new(),
+            faults: FaultState::inert(),
+            clock: 0,
         }
+    }
+
+    /// Arms a fault plan. The default plan is inert, so a network that
+    /// never calls this behaves exactly as before the fault plane
+    /// existed (no extra RNG draws, no counter movement).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(plan);
+    }
+
+    /// The currently armed plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// Advances the partition-window clock (the harness calls this once
+    /// per tick; see [`Network::set_clock`]).
+    pub fn set_clock(&mut self, now: u64) {
+        #[cfg(feature = "strict")]
+        debug_assert!(now >= self.clock, "clock must be monotonic");
+        self.clock = now;
+    }
+
+    /// Message-level fault shim for single-shot application messages
+    /// (load queries, invitations). The message is billed either way —
+    /// bandwidth is spent whether or not the packet arrives — and
+    /// `false` means the fault plane ate it.
+    pub fn try_message(&mut self, kind: MessageKind) -> bool {
+        self.stats.record(kind);
+        if self.faults.lose_message() {
+            self.stats.dropped += 1;
+            return false;
+        }
+        true
+    }
+
+    /// True when an open partition window separates `a` and `b` right
+    /// now. Always false under the inert plan.
+    pub fn partitioned(&self, a: Id, b: Id) -> bool {
+        self.faults.partitioned(self.clock, a, b)
+    }
+
+    /// Delivers one protocol message from `from` to `to`, retrying up to
+    /// `max_attempts` times on loss (each resend bills `retries` plus
+    /// the message kind again — the bytes really cross the wire twice).
+    /// A partition fails immediately: backoff inside one tick cannot
+    /// outwait a multi-tick cut.
+    pub(crate) fn deliver(
+        &mut self,
+        kind: MessageKind,
+        from: Id,
+        to: Id,
+    ) -> Result<(), NetworkError> {
+        self.stats.record(kind);
+        if !self.faults.is_active() {
+            return Ok(());
+        }
+        if self.faults.partitioned(self.clock, from, to) {
+            self.stats.dropped += 1;
+            self.stats.timeouts += 1;
+            return Err(NetworkError::TimedOut { attempts: 1 });
+        }
+        let max = self.faults.plan().max_attempts.max(1);
+        let mut attempt = 1;
+        while self.faults.lose_message() {
+            self.stats.dropped += 1;
+            if attempt >= max {
+                self.stats.timeouts += 1;
+                return Err(NetworkError::TimedOut { attempts: attempt });
+            }
+            attempt += 1;
+            self.stats.retries += 1;
+            self.stats.record(kind);
+        }
+        Ok(())
     }
 
     /// Creates a network of `n` nodes with uniformly random IDs and a
@@ -237,7 +347,7 @@ impl Network {
             let succ = node.successor();
             // Key between cur and its live successor → successor owns it.
             if self.nodes.contains_key(&succ) && ring::in_arc(cur, succ, key) {
-                self.stats.record(MessageKind::FindSuccessorHop);
+                self.deliver(MessageKind::FindSuccessorHop, cur, succ)?;
                 hops += 1;
                 path.push(succ);
                 return Ok(LookupResult {
@@ -266,7 +376,7 @@ impl Network {
             };
             match next {
                 Some(n) if n != cur => {
-                    self.stats.record(MessageKind::FindSuccessorHop);
+                    self.deliver(MessageKind::FindSuccessorHop, cur, n)?;
                     hops += 1;
                     path.push(n);
                     cur = n;
@@ -276,7 +386,7 @@ impl Network {
                     let succ = self.first_live_successor(cur);
                     match succ {
                         Some(s) if s != cur => {
-                            self.stats.record(MessageKind::FindSuccessorHop);
+                            self.deliver(MessageKind::FindSuccessorHop, cur, s)?;
                             hops += 1;
                             path.push(s);
                             cur = s;
@@ -396,6 +506,25 @@ impl Network {
         Ok(())
     }
 
+    /// [`Network::join`] with bounded-attempt semantics: under an active
+    /// fault plan the join's lookup can time out; this retries the whole
+    /// join up to the plan's `max_attempts` (billing each extra round
+    /// as a retry) before giving up. Non-transient errors (duplicate id,
+    /// dead contact) are returned immediately.
+    pub fn join_with_retry(&mut self, new_id: Id, contact: Id) -> Result<(), NetworkError> {
+        let max = self.faults.plan().max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match self.join(new_id, contact) {
+                Err(NetworkError::TimedOut { .. }) if attempt < max => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Graceful departure: keys are handed to the successor, neighbors
     /// are relinked, and the node is removed.
     pub fn leave(&mut self, id: Id) -> Result<(), NetworkError> {
@@ -433,22 +562,42 @@ impl Network {
     }
 
     /// Abrupt failure: the node vanishes without handing anything off.
-    /// Its primary keys are gone until replicas are promoted by the next
-    /// maintenance cycle.
-    pub fn fail(&mut self, id: Id) -> Result<(), NetworkError> {
-        self.nodes
+    /// Replicated keys stay recoverable (the next maintenance cycles
+    /// promote them); keys with no live replica are gone for good, and
+    /// the report says so explicitly — they are also billed to
+    /// [`MessageStats::keys_lost`] rather than silently vanishing.
+    pub fn fail(&mut self, id: Id) -> Result<FailReport, NetworkError> {
+        let node = self
+            .nodes
             .remove(&id)
-            .map(|_| ())
-            .ok_or(NetworkError::UnknownNode(id))
+            .ok_or(NetworkError::UnknownNode(id))?;
+        let mut covered: std::collections::BTreeSet<Id> = std::collections::BTreeSet::new();
+        for n in self.nodes.values() {
+            if let Some(rep) = n.replicas.get(&id) {
+                covered.extend(rep.iter().copied());
+            }
+        }
+        let keys_lost = node.keys.iter().filter(|k| !covered.contains(k)).count() as u64;
+        self.stats.keys_lost += keys_lost;
+        Ok(FailReport {
+            keys_lost,
+            keys_recoverable: node.keys.len() as u64 - keys_lost,
+        })
     }
 
     /// Rebuilds every node's successor/predecessor lists and finger
     /// tables from ground truth — the "perfectly stabilized" state.
-    pub fn rewire_ground_truth(&mut self) {
+    ///
+    /// Replica entries of dead owners are not silently discarded: any
+    /// key they hold that no live node owns is rescued onto its rightful
+    /// owner first (billed as key transfers), then the stale entries are
+    /// dropped. The report makes both counts explicit.
+    pub fn rewire_ground_truth(&mut self) -> RewireReport {
+        let report = self.reconcile_stale_replicas();
         let ids: Vec<Id> = self.nodes.keys().copied().collect();
         let n = ids.len();
         if n == 0 {
-            return;
+            return report;
         }
         for (i, &id) in ids.iter().enumerate() {
             let mut successors = Vec::with_capacity(self.cfg.successor_list_len);
@@ -479,6 +628,56 @@ impl Network {
             node.predecessors = predecessors;
             node.fingers = fingers;
         }
+        report
+    }
+
+    /// Rescues keys stranded in replicas of dead owners, then purges
+    /// those entries (helper for [`Network::rewire_ground_truth`]).
+    fn reconcile_stale_replicas(&mut self) -> RewireReport {
+        let mut report = RewireReport::default();
+        if self.nodes.is_empty() {
+            return report;
+        }
+        let live_primaries: std::collections::BTreeSet<Id> = self
+            .nodes
+            .values()
+            .flat_map(|n| n.keys.iter().copied())
+            .collect();
+        let holders: Vec<Id> = self.nodes.keys().copied().collect();
+        let mut stranded: Vec<(Id, Option<bytes::Bytes>)> = Vec::new();
+        for h in holders {
+            let dead: Vec<Id> = self.nodes[&h]
+                .replicas
+                .keys()
+                .copied()
+                .filter(|o| !self.nodes.contains_key(o))
+                .collect();
+            for owner in dead {
+                let node = self.nodes.get_mut(&h).unwrap();
+                let keys = node.replicas.remove(&owner).unwrap_or_default();
+                let mut values = node.replica_store.remove(&owner).unwrap_or_default();
+                report.stale_replicas_purged += 1;
+                for k in keys {
+                    if !live_primaries.contains(&k) {
+                        stranded.push((k, values.remove(&k)));
+                    }
+                }
+            }
+        }
+        stranded.sort_by_key(|(k, _)| *k);
+        stranded.dedup_by_key(|(k, _)| *k);
+        report.keys_rescued = stranded.len() as u64;
+        if !stranded.is_empty() {
+            self.stats
+                .record_n(MessageKind::KeyTransfer, report.keys_rescued);
+        }
+        for (k, v) in stranded {
+            let owner = self.insert_key(k);
+            if let Some(v) = v {
+                self.nodes.get_mut(&owner).unwrap().store.insert(k, v);
+            }
+        }
+        report
     }
 
     /// Owner lookup against a sorted id slice (helper for rewiring).
@@ -786,5 +985,195 @@ mod error_tests {
         assert_eq!(net.owner_of(Id::from(5u64)), None);
         assert!(net.is_empty());
         assert!(net.is_consistent(), "vacuously consistent");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultPlan, Partition};
+    use autobal_id::sha1::sha1_id_of_u64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn default_plan_changes_nothing() {
+        // Identical seeds, one network with the (inert) plan explicitly
+        // armed: every counter and every lookup must match bit-for-bit.
+        let mut a = Network::bootstrap(NetConfig::default(), 32, &mut rng(50));
+        let mut b = Network::bootstrap(NetConfig::default(), 32, &mut rng(50));
+        b.set_fault_plan(FaultPlan::default());
+        for k in 0..100u64 {
+            a.insert_key(sha1_id_of_u64(k));
+            b.insert_key(sha1_id_of_u64(k));
+        }
+        for _ in 0..3 {
+            a.maintenance_cycle();
+            b.maintenance_cycle();
+        }
+        let from_a = a.node_ids()[0];
+        let from_b = b.node_ids()[0];
+        for k in 0..50u64 {
+            let key = sha1_id_of_u64(k);
+            assert_eq!(a.lookup(from_a, key), b.lookup(from_b, key));
+        }
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.stats.dropped, 0);
+        assert_eq!(a.stats.retries, 0);
+    }
+
+    #[test]
+    fn lossy_lookups_retry_and_mostly_succeed() {
+        let mut net = Network::bootstrap(NetConfig::default(), 64, &mut rng(51));
+        net.set_fault_plan(FaultPlan::lossy(9, 0.10));
+        let from = net.node_ids()[0];
+        let mut ok = 0;
+        let mut timed_out = 0;
+        for k in 0..200u64 {
+            match net.lookup(from, sha1_id_of_u64(k)) {
+                Ok(_) => ok += 1,
+                Err(NetworkError::TimedOut { .. }) => timed_out += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        // Per-hop drop probability after 3 attempts is 0.1^3 = 0.1%;
+        // nearly everything resolves, and the plumbing bills its work.
+        assert!(ok >= 190, "ok {ok}/200 at 10% loss with retries");
+        assert_eq!(ok + timed_out, 200);
+        assert!(net.stats.retries > 0, "losses triggered retries");
+        assert!(net.stats.dropped > 0);
+        assert_eq!(net.stats.timeouts, timed_out as u64);
+    }
+
+    #[test]
+    fn partition_blocks_cross_cut_lookups_then_heals() {
+        let mut net = Network::bootstrap(NetConfig::default(), 32, &mut rng(52));
+        net.set_fault_plan(FaultPlan {
+            partitions: vec![Partition { start: 5, end: 10 }],
+            seed: 4,
+            ..FaultPlan::default()
+        });
+        let ids = net.node_ids();
+        // Find a pair on opposite sides of the cut.
+        let (a, b) = ids
+            .iter()
+            .flat_map(|&x| ids.iter().map(move |&y| (x, y)))
+            .find(|&(x, y)| net.faults.partitioned(5, x, y))
+            .expect("some pair straddles the pivot");
+        net.set_clock(5);
+        assert!(net.partitioned(a, b));
+        // A lookup from a for b's own id must cross the cut eventually.
+        let r = net.lookup(a, b);
+        assert!(
+            matches!(r, Err(NetworkError::TimedOut { .. })),
+            "cross-cut lookup fails during the window, got {r:?}"
+        );
+        net.set_clock(10);
+        assert!(!net.partitioned(a, b));
+        assert_eq!(net.lookup(a, b).unwrap().owner, b, "heals after window");
+    }
+
+    #[test]
+    fn fail_report_separates_lost_from_recoverable() {
+        let mut net = Network::bootstrap(NetConfig::default(), 16, &mut rng(53));
+        for k in 0..120u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        // No maintenance yet: no replicas, everything on the victim is lost.
+        let victim = net.node_ids()[2];
+        let held = net.node(victim).unwrap().keys.len() as u64;
+        let rep = net.fail(victim).unwrap();
+        assert_eq!(rep.keys_lost, held);
+        assert_eq!(rep.keys_recoverable, 0);
+        assert_eq!(net.stats.keys_lost, held);
+
+        // With replicas seeded, a crash loses nothing.
+        net.maintenance_cycle();
+        let victim2 = net.node_ids()[3];
+        let held2 = net.node(victim2).unwrap().keys.len() as u64;
+        let rep2 = net.fail(victim2).unwrap();
+        assert_eq!(rep2.keys_lost, 0, "replicated keys are recoverable");
+        assert_eq!(rep2.keys_recoverable, held2);
+        assert_eq!(net.stats.keys_lost, held, "unchanged by covered crash");
+        for _ in 0..3 {
+            net.maintenance_cycle();
+        }
+        assert_eq!(net.total_keys() as u64, 120 - held);
+    }
+
+    #[test]
+    fn rewire_rescues_keys_stranded_in_stale_replicas() {
+        let mut net = Network::bootstrap(NetConfig::default(), 12, &mut rng(54));
+        for k in 0..80u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        net.maintenance_cycle(); // seed replicas
+        let victim = net.node_ids()[4];
+        let held = net.node(victim).unwrap().keys.len() as u64;
+        let rep = net.fail(victim).unwrap();
+        assert_eq!(rep.keys_recoverable, held);
+        // Ground-truth rewire instead of maintenance: the rescue must be
+        // explicit, not an accident of promotion ordering.
+        let rewire = net.rewire_ground_truth();
+        assert_eq!(rewire.keys_rescued, held);
+        assert!(rewire.stale_replicas_purged >= 1);
+        assert_eq!(net.total_keys(), 80);
+        assert!(net.is_consistent());
+        // A second rewire finds nothing left to do.
+        let again = net.rewire_ground_truth();
+        assert_eq!(again, RewireReport::default());
+    }
+
+    #[test]
+    fn join_with_retry_survives_a_lossy_ring() {
+        let mut net = Network::bootstrap(NetConfig::default(), 24, &mut rng(55));
+        net.set_fault_plan(FaultPlan::lossy(11, 0.15));
+        let contact = net.node_ids()[0];
+        let mut r = rng(56);
+        let mut joined = 0;
+        for _ in 0..20 {
+            if net.join_with_retry(Id::random(&mut r), contact).is_ok() {
+                joined += 1;
+            }
+        }
+        assert!(joined >= 18, "joins with retry at 15% loss: {joined}/20");
+    }
+
+    #[test]
+    fn maintenance_converges_under_loss_once_faults_subside() {
+        let mut net = Network::bootstrap(NetConfig::default(), 40, &mut rng(57));
+        for k in 0..200u64 {
+            net.insert_key(sha1_id_of_u64(k));
+        }
+        net.maintenance_cycle();
+        net.set_fault_plan(FaultPlan::lossy(13, 0.30));
+        // Heavy loss plus a few crashes while maintenance keeps running.
+        let mut r = rng(58);
+        use rand::Rng;
+        for _ in 0..6 {
+            let ids = net.node_ids();
+            let victim = ids[r.gen_range(0..ids.len())];
+            net.fail(victim).unwrap();
+            net.maintenance_cycle();
+        }
+        // Faults subside; the ring must converge and keep what the fault
+        // plane did not explicitly bill as lost.
+        net.set_fault_plan(FaultPlan::default());
+        for _ in 0..20 {
+            net.maintenance_cycle();
+            if net.is_consistent() {
+                break;
+            }
+        }
+        assert!(net.is_consistent(), "ring reconverges after faults");
+        assert_eq!(
+            net.total_keys() as u64 + net.stats.keys_lost,
+            200,
+            "every key is either alive or explicitly billed lost"
+        );
     }
 }

@@ -5,7 +5,7 @@ use crate::metrics::{RunResult, SimMessageStats, Snapshot, TickSeries};
 use crate::ring::{Ring, RingError};
 use crate::strategy::{
     invitation::{pick_helper, HelperCandidate},
-    Actions, ChurnOps, InviteOutcome, LocalView, OracleView, Strategy, StrategyParams,
+    ActionError, Actions, ChurnOps, InviteOutcome, LocalView, OracleView, Strategy, StrategyParams,
     StrategyStack, Substrate,
 };
 use crate::trace::{EventLog, SimEvent};
@@ -241,6 +241,15 @@ impl Sim {
         }
         self.work_history.push(consumed);
         self.peak_vnodes = self.peak_vnodes.max(self.ring.len());
+        // Strict builds re-verify the ring's structural invariants every
+        // tick — a step that corrupts the ring fails at the tick that
+        // caused it, not at the test that later trips over it.
+        #[cfg(feature = "strict")]
+        debug_assert!(
+            self.ring.check_invariants().is_ok(),
+            "ring invariants violated at tick {}",
+            self.tick
+        );
         consumed
     }
 
@@ -627,17 +636,24 @@ impl LocalView for SimNodeCtx<'_> {
 }
 
 impl Actions for SimNodeCtx<'_> {
-    fn query_load(&mut self, neighbor: Id) -> u64 {
+    // The oracle ring's transport is infallible: queries always answer
+    // and joins only fail on address collisions, so the only error this
+    // context ever returns is `ActionError::Occupied`. That keeps the
+    // oracle substrate's behavior bit-for-bit identical to the
+    // pre-fault-plane code under every strategy.
+    fn query_load(&mut self, neighbor: Id) -> Result<u64, ActionError> {
         self.sim.msgs.load_queries += 1;
-        self.sim.ring.load(neighbor)
+        Ok(self.sim.ring.load(neighbor))
     }
 
     fn random_id(&mut self) -> Id {
         Id::random(&mut self.sim.rng_strategy)
     }
 
-    fn spawn_sybil(&mut self, pos: Id) -> Option<u64> {
-        self.sim.create_sybil(self.worker, pos)
+    fn spawn_sybil(&mut self, pos: Id) -> Result<u64, ActionError> {
+        self.sim
+            .create_sybil(self.worker, pos)
+            .ok_or(ActionError::Occupied)
     }
 
     fn retire_sybils(&mut self) {

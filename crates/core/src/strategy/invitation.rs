@@ -44,6 +44,10 @@ impl Strategy for Invitation {
         }
         match hot {
             Some((v, l)) if l > 0 => {
+                // A lost announcement (InviteOutcome::Unreachable) needs
+                // no special handling: the node is still overburdened
+                // next check and re-announces then — invitation is
+                // self-retrying by construction.
                 let _ = ctx.invite(v);
             }
             _ => {}

@@ -86,17 +86,45 @@ pub trait LocalView {
     fn successor_list(&self) -> Vec<Id>;
 }
 
+/// Why a strategy action failed. The oracle-ring substrate only ever
+/// produces [`ActionError::Occupied`] (its transport is infallible);
+/// the protocol substrate surfaces real network adversity as
+/// [`ActionError::Unreachable`] / [`ActionError::TimedOut`], and
+/// strategies are expected to degrade gracefully rather than panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionError {
+    /// The requested ring position is already taken.
+    Occupied,
+    /// The peer is dead or behind a partition; no reply will ever come.
+    Unreachable,
+    /// The operation exhausted its retry budget on a lossy link.
+    TimedOut,
+}
+
+impl std::fmt::Display for ActionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActionError::Occupied => write!(f, "ring position occupied"),
+            ActionError::Unreachable => write!(f, "peer unreachable"),
+            ActionError::TimedOut => write!(f, "operation timed out"),
+        }
+    }
+}
+
 /// What a node can *do* — every observable query is charged to the
-/// substrate's message counters.
+/// substrate's message counters. Message-bearing actions are fallible:
+/// on a real (faulty) network a probe can time out and a join can fail,
+/// and each strategy defines its own fallback (see the strategy docs).
 pub trait Actions {
     /// Asks `neighbor` for its remaining task count. Costs one
-    /// `LoadQuery` message.
-    fn query_load(&mut self, neighbor: Id) -> u64;
+    /// `LoadQuery` message even when the reply is lost.
+    fn query_load(&mut self, neighbor: Id) -> Result<u64, ActionError>;
     /// Draws a uniformly random ring address from the strategy stream.
     fn random_id(&mut self) -> Id;
-    /// Joins a Sybil of this worker at `pos`; `Some(acquired_tasks)` on
-    /// success, `None` if the position is taken (or the join fails).
-    fn spawn_sybil(&mut self, pos: Id) -> Option<u64>;
+    /// Joins a Sybil of this worker at `pos`; `Ok(acquired_tasks)` on
+    /// success, `Err(Occupied)` if the position is taken, or a network
+    /// error when the join itself could not complete.
+    fn spawn_sybil(&mut self, pos: Id) -> Result<u64, ActionError>;
     /// All of this worker's Sybils quit the network.
     fn retire_sybils(&mut self);
     /// Where a Sybil targeting `victim`'s arc should land: the ID-space
@@ -119,6 +147,10 @@ pub enum InviteOutcome {
     /// The invitation was sent but no helper qualified (or the helper's
     /// join failed); counted as refused.
     Refused,
+    /// The announcement was eaten by the network (loss or partition)
+    /// before any predecessor heard it. Still costs the `Invitation`
+    /// message; the node naturally re-announces on its next check.
+    Unreachable,
     /// A helper split the inviter's arc and took `acquired` tasks.
     Helped { acquired: u64 },
 }

@@ -53,8 +53,11 @@ impl Strategy for NeighborInjection {
         }
         let pos = if self.smart {
             match most_loaded_target(ctx, &succs) {
-                Some(p) => p,
-                None => return, // no successor has any work
+                Probe::Target(p) => p,
+                Probe::Idle => return, // no successor has any work
+                // Every probe was lost to the network: degrade to the
+                // plain strategy's free estimate instead of stalling.
+                Probe::NoAnswer => widest_gap_target(ctx.primary(), &succs),
             }
         } else {
             widest_gap_target(ctx.primary(), &succs)
@@ -80,23 +83,43 @@ pub fn widest_gap_target(primary: Id, succs: &[Id]) -> Id {
     ring::midpoint(best.1, best.2)
 }
 
+/// Outcome of the smart variant's measurement round.
+enum Probe {
+    /// A loaded successor was measured and a split point computed.
+    Target(Id),
+    /// Every answering successor reported zero work (or the split point
+    /// was degenerate) — nothing worth doing this check.
+    Idle,
+    /// No probe got an answer at all; the measurement failed wholesale
+    /// and the caller should fall back to estimating.
+    NoAnswer,
+}
+
 /// Split point of the most-loaded successor's range — the smart
 /// variant's measured target, one `LoadQuery` per successor. Ties go to
-/// the later list entry (matching `Iterator::max_by_key`). `None` when
-/// every successor is idle.
-fn most_loaded_target(ctx: &mut dyn NodeContext, succs: &[Id]) -> Option<Id> {
+/// the later list entry (matching `Iterator::max_by_key`). Probes the
+/// network ate are simply skipped: a partial answer set still beats the
+/// plain strategy's estimate.
+fn most_loaded_target(ctx: &mut dyn NodeContext, succs: &[Id]) -> Probe {
     let mut best: Option<(Id, u64)> = None;
+    let mut answered = false;
     for &s in succs {
-        let l = ctx.query_load(s);
+        let Ok(l) = ctx.query_load(s) else { continue };
+        answered = true;
         if best.is_none_or(|(_, bl)| l >= bl) {
             best = Some((s, l));
         }
     }
-    let (best, load) = best?;
-    if load == 0 {
-        return None;
+    if !answered {
+        return Probe::NoAnswer;
     }
-    ctx.split_target(best)
+    match best {
+        Some((best, load)) if load > 0 => match ctx.split_target(best) {
+            Some(p) => Probe::Target(p),
+            None => Probe::Idle,
+        },
+        _ => Probe::Idle,
+    }
 }
 
 #[cfg(test)]

@@ -25,11 +25,14 @@ impl Strategy for RandomInjection {
         if !super::eligible_to_spawn(ctx) {
             return;
         }
-        // One Sybil per decision; a rare address collision gets a few
-        // redraws before giving up until the next check.
+        // One Sybil per decision; a rare address collision (or a join
+        // lost to network faults) gets a few redraws before giving up
+        // until the next check. Redrawing a fresh address on a network
+        // failure doubles as the retry: the join routes via different
+        // links, so a lossy patch does not pin the node down.
         for _ in 0..4 {
             let pos = ctx.random_id();
-            if ctx.spawn_sybil(pos).is_some() {
+            if ctx.spawn_sybil(pos).is_ok() {
                 break;
             }
         }

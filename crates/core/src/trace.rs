@@ -28,6 +28,13 @@ pub enum SimEvent {
     },
     /// A worker left via churn; its tasks moved to successors.
     WorkerLeft { tick: u64, worker: WorkerId },
+    /// A worker crash-failed (fault plane); `keys_lost` tasks had no
+    /// live replica and are gone for good.
+    WorkerCrashed {
+        tick: u64,
+        worker: WorkerId,
+        keys_lost: u64,
+    },
     /// A waiting worker joined at `pos`, acquiring `acquired` tasks.
     WorkerJoined {
         tick: u64,
@@ -48,6 +55,7 @@ impl SimEvent {
             SimEvent::SybilCreated { tick, .. }
             | SimEvent::SybilsRetired { tick, .. }
             | SimEvent::WorkerLeft { tick, .. }
+            | SimEvent::WorkerCrashed { tick, .. }
             | SimEvent::WorkerJoined { tick, .. }
             | SimEvent::InvitationSent { tick, .. }
             | SimEvent::InvitationRefused { tick, .. } => *tick,
@@ -60,6 +68,7 @@ impl SimEvent {
             SimEvent::SybilCreated { worker, .. }
             | SimEvent::SybilsRetired { worker, .. }
             | SimEvent::WorkerLeft { worker, .. }
+            | SimEvent::WorkerCrashed { worker, .. }
             | SimEvent::WorkerJoined { worker, .. }
             | SimEvent::InvitationSent { worker, .. }
             | SimEvent::InvitationRefused { worker, .. } => *worker,

@@ -6,7 +6,7 @@
 //! targets: table1 table2 fig1 fig2_3 fig4_6 fig7_9 fig10 fig11_12
 //!          fig13_14 text_ri text_ni text_inv messages extensions
 //!          worktick timeseries chord_hops chord_churn
-//!          maintenance_cost async_latency                (default: all)
+//!          maintenance_cost async_latency resilience     (default: all)
 //! ```
 //!
 //! `--quick` (default) uses 5 trials per cell; `--full` uses the paper's
@@ -15,6 +15,7 @@
 mod chordx;
 mod common;
 mod figures;
+mod resilience;
 mod tables;
 mod textual;
 
@@ -97,6 +98,9 @@ fn main() {
     }
     if args.wants("async_latency") {
         chordx::async_latency(&args);
+    }
+    if args.wants("resilience") {
+        resilience::resilience(&args);
     }
 
     println!("done in {:?}", t0.elapsed());

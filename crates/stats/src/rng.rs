@@ -51,6 +51,8 @@ pub mod domains {
     pub const STRENGTH: u64 = 5;
     /// Static virtual-server placement (the classic baseline).
     pub const STATICS: u64 = 6;
+    /// Fault-plane decisions (crash-victim selection).
+    pub const FAULTS: u64 = 7;
 }
 
 #[cfg(test)]

@@ -19,12 +19,12 @@
 //! If the paper's effect survives on this substrate, the oracle-ring
 //! shortcut is justified.
 
-use autobal_chord::{MessageKind, MessageStats, NetConfig, Network};
+use autobal_chord::{FaultPlan, MessageKind, MessageStats, NetConfig, Network, NetworkError};
 use autobal_core::strategy::{
     churn::BackgroundChurn,
     invitation::{pick_helper, HelperCandidate},
-    strategy_for, Actions, ChurnOps, InviteOutcome, LocalView, Strategy, StrategyParams,
-    StrategyStack, Substrate,
+    strategy_for, ActionError, Actions, ChurnOps, InviteOutcome, LocalView, Strategy,
+    StrategyParams, StrategyStack, Substrate,
 };
 use autobal_core::trace::{EventLog, SimEvent};
 use autobal_core::StrategyKind;
@@ -61,6 +61,19 @@ pub struct ProtocolSimConfig {
     pub max_ticks: u64,
     /// Record a [`SimEvent`] trace of strategy decisions.
     pub record_events: bool,
+    /// Fault plan armed on the network after the initial stabilization
+    /// (the paper's "network starts stable" assumption is preserved;
+    /// adversity begins at tick 1). Inert by default.
+    pub fault: FaultPlan,
+    /// Fraction of the initial population to crash-fail over the run
+    /// (victims picked uniformly, spread across the nominal duration).
+    /// Only consulted when `fault.crashes` is empty; crashed workers
+    /// never return. 0 disables.
+    pub crash_rate: f64,
+    /// Retire Sybils abruptly (`Network::fail`) instead of gracefully
+    /// (`Network::leave`): the Sybil process just exits, and its keys
+    /// survive only through replication.
+    pub crash_retirement: bool,
 }
 
 impl Default for ProtocolSimConfig {
@@ -82,6 +95,9 @@ impl Default for ProtocolSimConfig {
             },
             max_ticks: 100_000,
             record_events: false,
+            fault: FaultPlan::default(),
+            crash_rate: 0.0,
+            crash_retirement: false,
         }
     }
 }
@@ -99,8 +115,15 @@ pub struct ProtocolRun {
     pub messages: MessageStats,
     /// Sybil joins performed.
     pub sybils_created: u64,
-    /// Sybil graceful leaves performed.
+    /// Sybil retirements performed (graceful leaves, or abrupt fails
+    /// under [`ProtocolSimConfig::crash_retirement`]).
     pub sybils_retired: u64,
+    /// Task keys permanently destroyed by crash-failures (no live
+    /// replica existed at crash time). Always 0 with replication ≥ 1
+    /// and a maintenance cycle between crashes.
+    pub tasks_lost: u64,
+    /// Workers removed by the crash plane (they never return).
+    pub workers_crashed: u64,
     /// Strategy decision trace (empty unless
     /// [`ProtocolSimConfig::record_events`]).
     pub events: EventLog,
@@ -137,8 +160,14 @@ struct ChordSubstrate {
     tick: u64,
     rng_strategy: DetRng,
     rng_churn: DetRng,
+    /// Crash-victim selection stream — separate from churn and strategy
+    /// so arming the fault plane never perturbs their draws.
+    rng_faults: DetRng,
     sybils_created: u64,
     sybils_retired: u64,
+    tasks_lost: u64,
+    workers_crashed: u64,
+    crash_retirement: bool,
     events: EventLog,
 }
 
@@ -157,11 +186,17 @@ impl ChordSubstrate {
             && (self.workers[w].sybils.len() as u32) < self.max_sybils
     }
 
-    /// A real protocol join of a Sybil for `w` at `pos`.
-    fn spawn_sybil_as(&mut self, w: usize, pos: Id) -> Option<u64> {
+    /// A real protocol join of a Sybil for `w` at `pos`. The join rides
+    /// the retry/backoff machinery, so transient loss is absorbed; only
+    /// an occupied position, an exhausted attempt budget, or a dead
+    /// contact surface as errors.
+    fn spawn_sybil_as(&mut self, w: usize, pos: Id) -> Result<u64, ActionError> {
         let contact = self.workers[w].primary;
-        if self.net.join(pos, contact).is_err() {
-            return None;
+        match self.net.join_with_retry(pos, contact) {
+            Ok(()) => {}
+            Err(NetworkError::DuplicateId(_)) => return Err(ActionError::Occupied),
+            Err(NetworkError::TimedOut { .. }) => return Err(ActionError::TimedOut),
+            Err(_) => return Err(ActionError::Unreachable),
         }
         let acquired = self.net.node(pos).map(|n| n.keys.len() as u64).unwrap_or(0);
         self.workers[w].sybils.push(pos);
@@ -174,14 +209,23 @@ impl ChordSubstrate {
             pos,
             acquired,
         });
-        Some(acquired)
+        Ok(acquired)
     }
 
     fn retire_sybils_of(&mut self, w: usize) {
         let sybils = std::mem::take(&mut self.workers[w].sybils);
         let n = sybils.len() as u64;
         for s in sybils {
-            let _ = self.net.leave(s);
+            if self.crash_retirement {
+                // Abrupt variant: the Sybil process just exits. Keys
+                // with a live replica get promoted by maintenance; the
+                // rest are billed as lost rather than silently gone.
+                if let Ok(rep) = self.net.fail(s) {
+                    self.tasks_lost += rep.keys_lost;
+                }
+            } else {
+                let _ = self.net.leave(s);
+            }
             self.owner_of.remove(&s);
         }
         self.sybils_retired += n;
@@ -192,6 +236,44 @@ impl ChordSubstrate {
                 worker: w,
                 count: n as u32,
             });
+        }
+    }
+
+    /// Crash-fails one whole worker: every vnode vanishes abruptly, the
+    /// worker never returns. Returns the keys permanently lost.
+    fn crash_worker(&mut self, w: usize) -> u64 {
+        let vnodes: Vec<Id> = self.workers[w].vnodes().collect();
+        let mut lost = 0;
+        for v in vnodes {
+            if let Ok(rep) = self.net.fail(v) {
+                lost += rep.keys_lost;
+            }
+            self.owner_of.remove(&v);
+        }
+        self.workers[w].sybils.clear();
+        self.workers[w].active = false;
+        self.active_count -= 1;
+        self.workers_crashed += 1;
+        self.tasks_lost += lost;
+        let tick = self.tick;
+        self.events.push(SimEvent::WorkerCrashed {
+            tick,
+            worker: w,
+            keys_lost: lost,
+        });
+        lost
+    }
+
+    /// Crashes up to `count` uniformly chosen active workers, always
+    /// sparing at least one so the ring survives.
+    fn apply_crashes(&mut self, count: u32) {
+        for _ in 0..count {
+            if self.active_count <= 1 {
+                return;
+            }
+            let actives = self.decision_order();
+            let w = actives[self.rng_faults.gen_range(0..actives.len())];
+            self.crash_worker(w);
         }
     }
 }
@@ -270,7 +352,10 @@ impl ChurnOps for ChordSubstrate {
                 break p;
             }
         };
-        if self.net.join(pos, contact).is_err() {
+        // Churn joins ride the same retry machinery as Sybil joins; a
+        // worker whose join still times out stays in the waiting pool
+        // and tries again next tick.
+        if self.net.join_with_retry(pos, contact).is_err() {
             self.waiting.push(w);
             return;
         }
@@ -358,20 +443,24 @@ impl LocalView for ChordNodeCtx<'_> {
 }
 
 impl Actions for ChordNodeCtx<'_> {
-    fn query_load(&mut self, neighbor: Id) -> u64 {
-        self.sub.net.stats.record(MessageKind::LoadQuery);
-        self.sub
-            .net
-            .node(neighbor)
-            .map(|n| n.keys.len() as u64)
-            .unwrap_or(0)
+    fn query_load(&mut self, neighbor: Id) -> Result<u64, ActionError> {
+        // The probe is billed whether or not it survives the network.
+        if !self.sub.net.try_message(MessageKind::LoadQuery) {
+            return Err(ActionError::TimedOut);
+        }
+        match self.sub.net.node(neighbor) {
+            Some(n) => Ok(n.keys.len() as u64),
+            // Stale successor-list entry pointing at a dead node: no
+            // reply will ever come.
+            None => Err(ActionError::Unreachable),
+        }
     }
 
     fn random_id(&mut self) -> Id {
         Id::random(&mut self.sub.rng_strategy)
     }
 
-    fn spawn_sybil(&mut self, pos: Id) -> Option<u64> {
+    fn spawn_sybil(&mut self, pos: Id) -> Result<u64, ActionError> {
         self.sub.spawn_sybil_as(self.worker, pos)
     }
 
@@ -407,8 +496,13 @@ impl Actions for ChordNodeCtx<'_> {
         if preds.is_empty() {
             return InviteOutcome::NoNeighbors;
         }
-        self.sub.net.stats.record(MessageKind::Invitation);
         let tick = self.sub.tick;
+        // The announcement costs its message even when the network eats
+        // it; a lost invitation is simply re-sent on the next check
+        // because the node is still overburdened then.
+        if !self.sub.net.try_message(MessageKind::Invitation) {
+            return InviteOutcome::Unreachable;
+        }
         self.sub.events.push(SimEvent::InvitationSent {
             tick,
             worker: inviter,
@@ -426,7 +520,7 @@ impl Actions for ChordNodeCtx<'_> {
         let helper = pick_helper(&candidates, self.sub.params.strength_aware_invitation);
         let outcome = helper
             .and_then(|h| self.split_target(hot).map(|pos| (h, pos)))
-            .and_then(|(h, pos)| self.sub.spawn_sybil_as(h, pos));
+            .and_then(|(h, pos)| self.sub.spawn_sybil_as(h, pos).ok());
         match outcome {
             Some(acquired) => InviteOutcome::Helped { acquired },
             None => {
@@ -484,6 +578,24 @@ fn run_inner(
         net.insert_key(key);
     }
     net.maintenance_cycle();
+    // Adversity begins only after the initial stabilization — the paper
+    // assumes "the network starts our experiments stable".
+    net.set_fault_plan(cfg.fault.clone());
+
+    // Crash schedule: explicit events from the plan win; otherwise
+    // `crash_rate` spreads ceil(rate × nodes) single-victim crashes
+    // evenly across the nominal (ideal) duration.
+    let ideal = (cfg.tasks as f64 / cfg.nodes as f64).ceil() as u64;
+    let mut crash_schedule: Vec<(u64, u32)> =
+        cfg.fault.crashes.iter().map(|c| (c.at, c.count)).collect();
+    if crash_schedule.is_empty() && cfg.crash_rate > 0.0 {
+        let total = (cfg.crash_rate * cfg.nodes as f64).ceil() as u32;
+        for i in 0..total as u64 {
+            let at = ((i + 1) * ideal.max(1)) / (total as u64 + 1);
+            crash_schedule.push((at.max(1), 1));
+        }
+    }
+    crash_schedule.sort_unstable();
 
     let mut workers: Vec<PWorker> = node_ids
         .iter()
@@ -541,14 +653,27 @@ fn run_inner(
         tick: 0,
         rng_strategy: substream(seed, 0, domains::STRATEGY),
         rng_churn: substream(seed, 0, domains::CHURN),
+        rng_faults: substream(seed, 0, domains::FAULTS),
         sybils_created: 0,
         sybils_retired: 0,
+        tasks_lost: 0,
+        workers_crashed: 0,
+        crash_retirement: cfg.crash_retirement,
         events: EventLog::new(cfg.record_events),
     };
 
-    let ideal = (cfg.tasks as f64 / cfg.nodes as f64).ceil() as u64;
+    let mut next_crash = 0usize;
     while sub.net.total_keys() > 0 && sub.tick < cfg.max_ticks {
         sub.tick += 1;
+        sub.net.set_clock(sub.tick);
+
+        // 0. Scheduled crash-failures land before anything else this
+        // tick — adversity does not wait for the protocol.
+        while next_crash < crash_schedule.len() && crash_schedule[next_crash].0 <= sub.tick {
+            let (_, count) = crash_schedule[next_crash];
+            sub.apply_crashes(count);
+            next_crash += 1;
+        }
 
         // 1. Churn layers fire every tick; 2. Sybil layers on cadence —
         // the same dispatch the oracle-ring simulator runs.
@@ -586,6 +711,8 @@ fn run_inner(
         messages: sub.net.stats.clone(),
         sybils_created: sub.sybils_created,
         sybils_retired: sub.sybils_retired,
+        tasks_lost: sub.tasks_lost,
+        workers_crashed: sub.workers_crashed,
         events: sub.events,
     }
 }
@@ -746,5 +873,122 @@ mod tests {
             run_protocol_sim(&small(StrategyKind::CentralizedOracle), 1)
         });
         assert!(r.is_err(), "omniscience must not exist on a real network");
+    }
+
+    #[test]
+    fn crash_failures_lose_nothing_under_replication() {
+        // Acceptance criterion: with replication ≥ 2, a 5% crash rate
+        // destroys zero tasks — every crashed node's keys had a live
+        // replica (maintenance runs every tick).
+        let res = run_protocol_sim(
+            &ProtocolSimConfig {
+                crash_rate: 0.05,
+                ..small(StrategyKind::RandomInjection)
+            },
+            9,
+        );
+        assert!(res.completed, "run must finish despite crashes");
+        assert!(res.workers_crashed > 0, "the crash plane actually fired");
+        assert_eq!(
+            res.tasks_lost, 0,
+            "replication_factor 5 must cover every crash victim"
+        );
+        assert_eq!(res.messages.keys_lost, 0);
+    }
+
+    #[test]
+    fn unreplicated_crashes_report_their_losses_explicitly() {
+        // With replication off, crash-failures genuinely destroy work —
+        // and the run must say so rather than hang or lie.
+        let res = run_protocol_sim(
+            &ProtocolSimConfig {
+                crash_rate: 0.1,
+                net: NetConfig {
+                    replication_factor: 0,
+                    fingers_per_cycle: 4,
+                    ..NetConfig::default()
+                },
+                ..small(StrategyKind::None)
+            },
+            10,
+        );
+        assert!(res.workers_crashed > 0);
+        assert!(
+            res.tasks_lost > 0,
+            "no replicas ⇒ crashed nodes' keys must be reported lost"
+        );
+        assert_eq!(res.tasks_lost, res.messages.keys_lost);
+        assert!(res.completed, "the survivors still finish what remains");
+    }
+
+    #[test]
+    fn both_sybil_retirement_paths_conserve_replicated_keys() {
+        // Satellite: graceful leave and crash-style retirement must
+        // agree on the macro outcome when replication covers the keys —
+        // the run completes and nothing is destroyed either way.
+        for crash_retirement in [false, true] {
+            let res = run_protocol_sim(
+                &ProtocolSimConfig {
+                    crash_retirement,
+                    ..small(StrategyKind::RandomInjection)
+                },
+                11,
+            );
+            assert!(res.completed, "crash_retirement={crash_retirement}");
+            assert!(res.sybils_retired > 0, "retirements exercised both paths");
+            assert_eq!(
+                res.tasks_lost, 0,
+                "replicated Sybil keys must survive retirement (crash={crash_retirement})"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_links_degrade_gracefully() {
+        // Acceptance criterion: 10% loss costs at most 2× the
+        // fault-free runtime factor, for every strategy.
+        for kind in [
+            StrategyKind::None,
+            StrategyKind::RandomInjection,
+            StrategyKind::NeighborInjection,
+            StrategyKind::SmartNeighbor,
+            StrategyKind::Invitation,
+        ] {
+            let clean = run_protocol_sim(&small(kind), 12);
+            let lossy = run_protocol_sim(
+                &ProtocolSimConfig {
+                    fault: FaultPlan::lossy(12, 0.10),
+                    ..small(kind)
+                },
+                12,
+            );
+            assert!(lossy.completed, "{kind:?} must finish at 10% loss");
+            assert!(lossy.messages.dropped > 0, "{kind:?}: faults actually bit");
+            assert!(
+                lossy.runtime_factor <= clean.runtime_factor * 2.0,
+                "{kind:?}: lossy {} vs clean {}",
+                lossy.runtime_factor,
+                clean.runtime_factor
+            );
+        }
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing_on_the_protocol() {
+        // Bit-for-bit: the default (inert) plan must not perturb a
+        // single counter relative to the pre-fault-plane code path.
+        let a = run_protocol_sim(&small(StrategyKind::SmartNeighbor), 13);
+        let b = run_protocol_sim(
+            &ProtocolSimConfig {
+                fault: FaultPlan::default(),
+                ..small(StrategyKind::SmartNeighbor)
+            },
+            13,
+        );
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.sybils_created, b.sybils_created);
+        assert_eq!(a.messages.dropped, 0);
+        assert_eq!(a.messages.retries, 0);
     }
 }

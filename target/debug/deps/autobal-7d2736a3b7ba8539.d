@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/autobal-7d2736a3b7ba8539.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/debug/deps/libautobal-7d2736a3b7ba8539.rlib: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/debug/deps/libautobal-7d2736a3b7ba8539.rmeta: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

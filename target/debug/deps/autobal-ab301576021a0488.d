@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/autobal-ab301576021a0488.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/debug/deps/autobal-ab301576021a0488: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/autobal-e02df45b44cd104d.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/debug/deps/libautobal-e02df45b44cd104d.rlib: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/debug/deps/libautobal-e02df45b44cd104d.rmeta: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/autobal_bench-6ebc757a2f7db277.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautobal_bench-6ebc757a2f7db277.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautobal_bench-6ebc757a2f7db277.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autobal_bench-d1a97cfd0f34eea8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/autobal_bench-d1a97cfd0f34eea8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

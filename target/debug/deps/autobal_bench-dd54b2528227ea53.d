@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/autobal_bench-dd54b2528227ea53.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautobal_bench-dd54b2528227ea53.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautobal_bench-dd54b2528227ea53.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

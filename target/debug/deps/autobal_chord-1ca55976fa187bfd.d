@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/autobal_chord-1ca55976fa187bfd.d: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/debug/deps/libautobal_chord-1ca55976fa187bfd.rlib: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/debug/deps/libautobal_chord-1ca55976fa187bfd.rmeta: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/eventnet.rs:
+crates/chord/src/fault.rs:
+crates/chord/src/kv.rs:
+crates/chord/src/maintenance.rs:
+crates/chord/src/messages.rs:
+crates/chord/src/network.rs:
+crates/chord/src/node.rs:
+crates/chord/src/routing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/autobal_chord-cc1e51454d9c5c14.d: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/debug/deps/libautobal_chord-cc1e51454d9c5c14.rlib: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/debug/deps/libautobal_chord-cc1e51454d9c5c14.rmeta: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/eventnet.rs:
+crates/chord/src/fault.rs:
+crates/chord/src/kv.rs:
+crates/chord/src/maintenance.rs:
+crates/chord/src/messages.rs:
+crates/chord/src/network.rs:
+crates/chord/src/node.rs:
+crates/chord/src/routing.rs:

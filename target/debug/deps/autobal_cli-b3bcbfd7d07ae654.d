@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autobal_cli-b3bcbfd7d07ae654.d: src/bin/autobal-cli.rs
+
+/root/repo/target/debug/deps/autobal_cli-b3bcbfd7d07ae654: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

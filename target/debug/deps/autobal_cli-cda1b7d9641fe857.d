@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autobal_cli-cda1b7d9641fe857.d: src/bin/autobal-cli.rs
+
+/root/repo/target/debug/deps/autobal_cli-cda1b7d9641fe857: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autobal_cli-dfd1a295b5b82154.d: src/bin/autobal-cli.rs
+
+/root/repo/target/debug/deps/autobal_cli-dfd1a295b5b82154: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/autobal_core-436a660b8c5459ec.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/churn.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs
+
+/root/repo/target/debug/deps/libautobal_core-436a660b8c5459ec.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/churn.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs
+
+/root/repo/target/debug/deps/libautobal_core-436a660b8c5459ec.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/churn.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/ring.rs:
+crates/core/src/sim.rs:
+crates/core/src/strategy/mod.rs:
+crates/core/src/strategy/churn.rs:
+crates/core/src/strategy/invitation.rs:
+crates/core/src/strategy/neighbor.rs:
+crates/core/src/strategy/oracle.rs:
+crates/core/src/strategy/random.rs:
+crates/core/src/trace.rs:
+crates/core/src/worker.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/autobal_core-c4b030505f5f8015.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs
+/root/repo/target/debug/deps/autobal_core-c4b030505f5f8015.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/churn.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs
 
-/root/repo/target/debug/deps/autobal_core-c4b030505f5f8015: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs
+/root/repo/target/debug/deps/autobal_core-c4b030505f5f8015: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/churn.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
@@ -8,6 +8,7 @@ crates/core/src/metrics.rs:
 crates/core/src/ring.rs:
 crates/core/src/sim.rs:
 crates/core/src/strategy/mod.rs:
+crates/core/src/strategy/churn.rs:
 crates/core/src/strategy/invitation.rs:
 crates/core/src/strategy/neighbor.rs:
 crates/core/src/strategy/oracle.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/autobal_id-9a9eb01001a8dc79.d: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+/root/repo/target/debug/deps/libautobal_id-9a9eb01001a8dc79.rlib: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+/root/repo/target/debug/deps/libautobal_id-9a9eb01001a8dc79.rmeta: crates/id/src/lib.rs crates/id/src/embed.rs crates/id/src/ring.rs crates/id/src/sha1.rs crates/id/src/u160.rs
+
+crates/id/src/lib.rs:
+crates/id/src/embed.rs:
+crates/id/src/ring.rs:
+crates/id/src/sha1.rs:
+crates/id/src/u160.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/autobal_stats-6ebe347a58d815bb.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/libautobal_stats-6ebe347a58d815bb.rlib: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/libautobal_stats-6ebe347a58d815bb.rmeta: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/fairness.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/spacings.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/fairness.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/spacings.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/autobal_viz-ef86ffd1ec84adbf.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libautobal_viz-ef86ffd1ec84adbf.rlib: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libautobal_viz-ef86ffd1ec84adbf.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/autobal_workload-62c54cb0d498ac98.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+/root/repo/target/debug/deps/libautobal_workload-62c54cb0d498ac98.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+/root/repo/target/debug/deps/libautobal_workload-62c54cb0d498ac98.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/sweep.rs:
+crates/workload/src/tables.rs:
+crates/workload/src/trials.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-ec5d73f4c3238853.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-ec5d73f4c3238853: tests/chaos.rs
+
+tests/chaos.rs:

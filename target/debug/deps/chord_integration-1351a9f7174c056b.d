@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chord_integration-1351a9f7174c056b.d: tests/chord_integration.rs
+
+/root/repo/target/debug/deps/chord_integration-1351a9f7174c056b: tests/chord_integration.rs
+
+tests/chord_integration.rs:

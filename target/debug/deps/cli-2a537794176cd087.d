@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-2a537794176cd087.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2a537794176cd087: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_autobal-cli=/root/repo/target/debug/autobal-cli

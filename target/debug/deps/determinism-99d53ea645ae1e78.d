@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-99d53ea645ae1e78.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-99d53ea645ae1e78: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-a45a25b18dd6bacc.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-a45a25b18dd6bacc: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e35504a0c69ee447.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e35504a0c69ee447: tests/end_to_end.rs
+
+tests/end_to_end.rs:

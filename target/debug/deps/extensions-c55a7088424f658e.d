@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c55a7088424f658e.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c55a7088424f658e: tests/extensions.rs
+
+tests/extensions.rs:

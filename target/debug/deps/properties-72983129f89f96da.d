@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-72983129f89f96da.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-72983129f89f96da: tests/properties.rs
+
+tests/properties.rs:

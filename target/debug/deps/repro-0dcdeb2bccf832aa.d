@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro-0dcdeb2bccf832aa.d: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+/root/repo/target/debug/deps/repro-0dcdeb2bccf832aa: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+crates/experiments/src/main.rs:
+crates/experiments/src/chordx.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/textual.rs:

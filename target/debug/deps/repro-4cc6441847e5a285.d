@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/repro-4cc6441847e5a285.d: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/resilience.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+/root/repo/target/debug/deps/repro-4cc6441847e5a285: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/resilience.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+crates/experiments/src/main.rs:
+crates/experiments/src/chordx.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/resilience.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/textual.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro-a37b4110397ea17a.d: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+/root/repo/target/debug/deps/repro-a37b4110397ea17a: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+crates/experiments/src/main.rs:
+crates/experiments/src/chordx.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/textual.rs:

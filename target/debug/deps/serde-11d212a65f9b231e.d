@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-11d212a65f9b231e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-11d212a65f9b231e.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-11d212a65f9b231e.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde_json-0f61810c81dda6e4.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/debug/deps/libserde_json-0f61810c81dda6e4.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/debug/deps/libserde_json-0f61810c81dda6e4.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/value.rs vendor/serde_json/src/write.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+vendor/serde_json/src/value.rs:
+vendor/serde_json/src/write.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_parity-288e030eb3e77a8b.d: tests/strategy_parity.rs
+
+/root/repo/target/debug/deps/strategy_parity-288e030eb3e77a8b: tests/strategy_parity.rs
+
+tests/strategy_parity.rs:

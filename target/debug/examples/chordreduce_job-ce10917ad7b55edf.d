@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chordreduce_job-ce10917ad7b55edf.d: examples/chordreduce_job.rs
+
+/root/repo/target/debug/examples/chordreduce_job-ce10917ad7b55edf: examples/chordreduce_job.rs
+
+examples/chordreduce_job.rs:

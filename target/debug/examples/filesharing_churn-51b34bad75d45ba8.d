@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filesharing_churn-51b34bad75d45ba8.d: examples/filesharing_churn.rs
+
+/root/repo/target/debug/examples/filesharing_churn-51b34bad75d45ba8: examples/filesharing_churn.rs
+
+examples/filesharing_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_vs_oracle-af20c7147496f456.d: examples/protocol_vs_oracle.rs
+
+/root/repo/target/debug/examples/protocol_vs_oracle-af20c7147496f456: examples/protocol_vs_oracle.rs
+
+examples/protocol_vs_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1e0bc1a04566c6da.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1e0bc1a04566c6da: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ring_visualizer-5b2b5a09bb4534be.d: examples/ring_visualizer.rs
+
+/root/repo/target/debug/examples/ring_visualizer-5b2b5a09bb4534be: examples/ring_visualizer.rs
+
+examples/ring_visualizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_shootout-6cfbf4b76b9c254b.d: examples/strategy_shootout.rs
+
+/root/repo/target/debug/examples/strategy_shootout-6cfbf4b76b9c254b: examples/strategy_shootout.rs
+
+examples/strategy_shootout.rs:

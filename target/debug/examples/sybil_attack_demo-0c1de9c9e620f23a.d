@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sybil_attack_demo-0c1de9c9e620f23a.d: examples/sybil_attack_demo.rs
+
+/root/repo/target/debug/examples/sybil_attack_demo-0c1de9c9e620f23a: examples/sybil_attack_demo.rs
+
+examples/sybil_attack_demo.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/autobal-28d214a64c776c24.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/release/deps/autobal-28d214a64c776c24: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

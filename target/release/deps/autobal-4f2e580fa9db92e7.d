@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/autobal-4f2e580fa9db92e7.d: src/lib.rs src/protocol_sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal-4f2e580fa9db92e7.rmeta: src/lib.rs src/protocol_sim.rs Cargo.toml
+
+src/lib.rs:
+src/protocol_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

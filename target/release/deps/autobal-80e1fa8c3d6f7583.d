@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/autobal-80e1fa8c3d6f7583.d: src/lib.rs src/protocol_sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal-80e1fa8c3d6f7583.rmeta: src/lib.rs src/protocol_sim.rs Cargo.toml
+
+src/lib.rs:
+src/protocol_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/autobal-e8fa897f741f9392.d: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/release/deps/libautobal-e8fa897f741f9392.rlib: src/lib.rs src/protocol_sim.rs
+
+/root/repo/target/release/deps/libautobal-e8fa897f741f9392.rmeta: src/lib.rs src/protocol_sim.rs
+
+src/lib.rs:
+src/protocol_sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/autobal_bench-11f05dacc6b002b7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libautobal_bench-11f05dacc6b002b7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libautobal_bench-11f05dacc6b002b7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

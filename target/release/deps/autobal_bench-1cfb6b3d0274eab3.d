@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/autobal_bench-1cfb6b3d0274eab3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/autobal_bench-1cfb6b3d0274eab3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/autobal_chord-4c2b082624284c5c.d: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal_chord-4c2b082624284c5c.rmeta: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs Cargo.toml
+
+crates/chord/src/lib.rs:
+crates/chord/src/eventnet.rs:
+crates/chord/src/fault.rs:
+crates/chord/src/kv.rs:
+crates/chord/src/maintenance.rs:
+crates/chord/src/messages.rs:
+crates/chord/src/network.rs:
+crates/chord/src/node.rs:
+crates/chord/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

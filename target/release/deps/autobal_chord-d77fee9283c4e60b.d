@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/autobal_chord-d77fee9283c4e60b.d: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/release/deps/libautobal_chord-d77fee9283c4e60b.rlib: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+/root/repo/target/release/deps/libautobal_chord-d77fee9283c4e60b.rmeta: crates/chord/src/lib.rs crates/chord/src/eventnet.rs crates/chord/src/fault.rs crates/chord/src/kv.rs crates/chord/src/maintenance.rs crates/chord/src/messages.rs crates/chord/src/network.rs crates/chord/src/node.rs crates/chord/src/routing.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/eventnet.rs:
+crates/chord/src/fault.rs:
+crates/chord/src/kv.rs:
+crates/chord/src/maintenance.rs:
+crates/chord/src/messages.rs:
+crates/chord/src/network.rs:
+crates/chord/src/node.rs:
+crates/chord/src/routing.rs:

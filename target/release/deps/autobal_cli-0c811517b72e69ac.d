@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/autobal_cli-0c811517b72e69ac.d: src/bin/autobal-cli.rs
+
+/root/repo/target/release/deps/autobal_cli-0c811517b72e69ac: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/autobal_cli-255592f6dd341e01.d: src/bin/autobal-cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal_cli-255592f6dd341e01.rmeta: src/bin/autobal-cli.rs Cargo.toml
+
+src/bin/autobal-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/autobal_cli-34cd528c40ae19e3.d: src/bin/autobal-cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal_cli-34cd528c40ae19e3.rmeta: src/bin/autobal-cli.rs Cargo.toml
+
+src/bin/autobal-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/autobal_cli-5591b514bf7073d2.d: src/bin/autobal-cli.rs
+
+/root/repo/target/release/deps/autobal_cli-5591b514bf7073d2: src/bin/autobal-cli.rs
+
+src/bin/autobal-cli.rs:

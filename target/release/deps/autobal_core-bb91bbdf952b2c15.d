@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/autobal_core-bb91bbdf952b2c15.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/churn.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal_core-bb91bbdf952b2c15.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/ring.rs crates/core/src/sim.rs crates/core/src/strategy/mod.rs crates/core/src/strategy/churn.rs crates/core/src/strategy/invitation.rs crates/core/src/strategy/neighbor.rs crates/core/src/strategy/oracle.rs crates/core/src/strategy/random.rs crates/core/src/trace.rs crates/core/src/worker.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/ring.rs:
+crates/core/src/sim.rs:
+crates/core/src/strategy/mod.rs:
+crates/core/src/strategy/churn.rs:
+crates/core/src/strategy/invitation.rs:
+crates/core/src/strategy/neighbor.rs:
+crates/core/src/strategy/oracle.rs:
+crates/core/src/strategy/random.rs:
+crates/core/src/trace.rs:
+crates/core/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/autobal_workload-28494e52c340ae1e.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs Cargo.toml
+
+/root/repo/target/release/deps/libautobal_workload-28494e52c340ae1e.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/placement.rs crates/workload/src/spec.rs crates/workload/src/sweep.rs crates/workload/src/tables.rs crates/workload/src/trials.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/sweep.rs:
+crates/workload/src/tables.rs:
+crates/workload/src/trials.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

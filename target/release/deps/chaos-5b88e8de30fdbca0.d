@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chaos-5b88e8de30fdbca0.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/release/deps/libchaos-5b88e8de30fdbca0.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

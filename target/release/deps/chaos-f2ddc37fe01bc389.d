@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-f2ddc37fe01bc389.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-f2ddc37fe01bc389: tests/chaos.rs
+
+tests/chaos.rs:

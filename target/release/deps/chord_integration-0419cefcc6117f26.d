@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chord_integration-0419cefcc6117f26.d: tests/chord_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libchord_integration-0419cefcc6117f26.rmeta: tests/chord_integration.rs Cargo.toml
+
+tests/chord_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

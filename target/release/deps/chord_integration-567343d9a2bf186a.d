@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chord_integration-567343d9a2bf186a.d: tests/chord_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libchord_integration-567343d9a2bf186a.rmeta: tests/chord_integration.rs Cargo.toml
+
+tests/chord_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chord_integration-8c81f6e7f0ab0ea9.d: tests/chord_integration.rs
+
+/root/repo/target/release/deps/chord_integration-8c81f6e7f0ab0ea9: tests/chord_integration.rs
+
+tests/chord_integration.rs:

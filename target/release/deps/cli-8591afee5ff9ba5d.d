@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-8591afee5ff9ba5d.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-8591afee5ff9ba5d: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_autobal-cli=/root/repo/target/release/autobal-cli

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cli-ac1b0da5e9006a75.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-ac1b0da5e9006a75.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_autobal-cli=placeholder:autobal-cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

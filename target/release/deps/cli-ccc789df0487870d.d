@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cli-ccc789df0487870d.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-ccc789df0487870d.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_autobal-cli=placeholder:autobal-cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

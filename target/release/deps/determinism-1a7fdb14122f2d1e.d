@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-1a7fdb14122f2d1e.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-1a7fdb14122f2d1e.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

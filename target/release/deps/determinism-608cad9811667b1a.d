@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-608cad9811667b1a.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-608cad9811667b1a: tests/determinism.rs
+
+tests/determinism.rs:

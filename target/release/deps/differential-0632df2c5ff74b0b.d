@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/differential-0632df2c5ff74b0b.d: tests/differential.rs Cargo.toml
+
+/root/repo/target/release/deps/libdifferential-0632df2c5ff74b0b.rmeta: tests/differential.rs Cargo.toml
+
+tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-b370f233d27d5477.d: tests/differential.rs
+
+/root/repo/target/release/deps/differential-b370f233d27d5477: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/differential-d1dc94fe1d5c367a.d: tests/differential.rs Cargo.toml
+
+/root/repo/target/release/deps/libdifferential-d1dc94fe1d5c367a.rmeta: tests/differential.rs Cargo.toml
+
+tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-48dd2f2085867d33.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-48dd2f2085867d33: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-4a9162b8eb140057.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-4a9162b8eb140057.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-6e11604de360bbe5.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-6e11604de360bbe5.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

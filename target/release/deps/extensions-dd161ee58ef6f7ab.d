@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-dd161ee58ef6f7ab.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-dd161ee58ef6f7ab: tests/extensions.rs
+
+tests/extensions.rs:

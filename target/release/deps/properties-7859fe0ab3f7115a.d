@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7859fe0ab3f7115a.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-7859fe0ab3f7115a: tests/properties.rs
+
+tests/properties.rs:

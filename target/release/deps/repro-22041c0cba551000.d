@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/repro-22041c0cba551000.d: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/resilience.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+/root/repo/target/release/deps/repro-22041c0cba551000: crates/experiments/src/main.rs crates/experiments/src/chordx.rs crates/experiments/src/common.rs crates/experiments/src/figures.rs crates/experiments/src/resilience.rs crates/experiments/src/tables.rs crates/experiments/src/textual.rs
+
+crates/experiments/src/main.rs:
+crates/experiments/src/chordx.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/resilience.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/textual.rs:

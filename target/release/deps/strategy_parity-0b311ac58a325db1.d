@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/strategy_parity-0b311ac58a325db1.d: tests/strategy_parity.rs Cargo.toml
+
+/root/repo/target/release/deps/libstrategy_parity-0b311ac58a325db1.rmeta: tests/strategy_parity.rs Cargo.toml
+
+tests/strategy_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

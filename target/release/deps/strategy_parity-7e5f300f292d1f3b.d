@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/strategy_parity-7e5f300f292d1f3b.d: tests/strategy_parity.rs Cargo.toml
+
+/root/repo/target/release/deps/libstrategy_parity-7e5f300f292d1f3b.rmeta: tests/strategy_parity.rs Cargo.toml
+
+tests/strategy_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/strategy_parity-c7af0df56b35baa2.d: tests/strategy_parity.rs
+
+/root/repo/target/release/deps/strategy_parity-c7af0df56b35baa2: tests/strategy_parity.rs
+
+tests/strategy_parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chordreduce_job-0f0f1422c44aea99.d: examples/chordreduce_job.rs
+
+/root/repo/target/release/examples/chordreduce_job-0f0f1422c44aea99: examples/chordreduce_job.rs
+
+examples/chordreduce_job.rs:

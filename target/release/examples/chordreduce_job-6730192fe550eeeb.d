@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/chordreduce_job-6730192fe550eeeb.d: examples/chordreduce_job.rs Cargo.toml
+
+/root/repo/target/release/examples/libchordreduce_job-6730192fe550eeeb.rmeta: examples/chordreduce_job.rs Cargo.toml
+
+examples/chordreduce_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/filesharing_churn-b7990feb1420f24c.d: examples/filesharing_churn.rs Cargo.toml
+
+/root/repo/target/release/examples/libfilesharing_churn-b7990feb1420f24c.rmeta: examples/filesharing_churn.rs Cargo.toml
+
+examples/filesharing_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/filesharing_churn-f0eb04767a1c6a5a.d: examples/filesharing_churn.rs Cargo.toml
+
+/root/repo/target/release/examples/libfilesharing_churn-f0eb04767a1c6a5a.rmeta: examples/filesharing_churn.rs Cargo.toml
+
+examples/filesharing_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/filesharing_churn-f21949cbf567ca7a.d: examples/filesharing_churn.rs
+
+/root/repo/target/release/examples/filesharing_churn-f21949cbf567ca7a: examples/filesharing_churn.rs
+
+examples/filesharing_churn.rs:

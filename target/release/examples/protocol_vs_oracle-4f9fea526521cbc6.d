@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protocol_vs_oracle-4f9fea526521cbc6.d: examples/protocol_vs_oracle.rs
+
+/root/repo/target/release/examples/protocol_vs_oracle-4f9fea526521cbc6: examples/protocol_vs_oracle.rs
+
+examples/protocol_vs_oracle.rs:

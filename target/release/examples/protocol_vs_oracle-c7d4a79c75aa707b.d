@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/protocol_vs_oracle-c7d4a79c75aa707b.d: examples/protocol_vs_oracle.rs Cargo.toml
+
+/root/repo/target/release/examples/libprotocol_vs_oracle-c7d4a79c75aa707b.rmeta: examples/protocol_vs_oracle.rs Cargo.toml
+
+examples/protocol_vs_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

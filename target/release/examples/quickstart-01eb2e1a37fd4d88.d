@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-01eb2e1a37fd4d88.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-01eb2e1a37fd4d88: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-6151d74d8dc81e23.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-6151d74d8dc81e23.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

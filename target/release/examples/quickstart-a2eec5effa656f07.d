@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-a2eec5effa656f07.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-a2eec5effa656f07.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

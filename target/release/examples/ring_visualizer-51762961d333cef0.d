@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ring_visualizer-51762961d333cef0.d: examples/ring_visualizer.rs
+
+/root/repo/target/release/examples/ring_visualizer-51762961d333cef0: examples/ring_visualizer.rs
+
+examples/ring_visualizer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/ring_visualizer-8d7975d710a1f7fc.d: examples/ring_visualizer.rs Cargo.toml
+
+/root/repo/target/release/examples/libring_visualizer-8d7975d710a1f7fc.rmeta: examples/ring_visualizer.rs Cargo.toml
+
+examples/ring_visualizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/ring_visualizer-c2a6d803a68e80ce.d: examples/ring_visualizer.rs Cargo.toml
+
+/root/repo/target/release/examples/libring_visualizer-c2a6d803a68e80ce.rmeta: examples/ring_visualizer.rs Cargo.toml
+
+examples/ring_visualizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

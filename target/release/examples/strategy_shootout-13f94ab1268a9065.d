@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/strategy_shootout-13f94ab1268a9065.d: examples/strategy_shootout.rs Cargo.toml
+
+/root/repo/target/release/examples/libstrategy_shootout-13f94ab1268a9065.rmeta: examples/strategy_shootout.rs Cargo.toml
+
+examples/strategy_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/strategy_shootout-c7171da10a3b50dd.d: examples/strategy_shootout.rs
+
+/root/repo/target/release/examples/strategy_shootout-c7171da10a3b50dd: examples/strategy_shootout.rs
+
+examples/strategy_shootout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sybil_attack_demo-053d2405836aa7e6.d: examples/sybil_attack_demo.rs Cargo.toml
+
+/root/repo/target/release/examples/libsybil_attack_demo-053d2405836aa7e6.rmeta: examples/sybil_attack_demo.rs Cargo.toml
+
+examples/sybil_attack_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sybil_attack_demo-3d30b1dc3d3ca7db.d: examples/sybil_attack_demo.rs Cargo.toml
+
+/root/repo/target/release/examples/libsybil_attack_demo-3d30b1dc3d3ca7db.rmeta: examples/sybil_attack_demo.rs Cargo.toml
+
+examples/sybil_attack_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sybil_attack_demo-3f87528156e18152.d: examples/sybil_attack_demo.rs
+
+/root/repo/target/release/examples/sybil_attack_demo-3f87528156e18152: examples/sybil_attack_demo.rs
+
+examples/sybil_attack_demo.rs:
