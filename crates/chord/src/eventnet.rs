@@ -20,7 +20,7 @@ use crate::messages::MessageStats;
 use autobal_id::{ring, Id, ID_BITS};
 use rand::Rng;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Tunables for the event-driven overlay.
 #[derive(Debug, Clone, Copy)]
@@ -155,9 +155,9 @@ pub struct EventNet {
     time: u64,
     seq: u64,
     queue: BinaryHeap<Reverse<(u64, u64)>>,
-    payloads: HashMap<u64, (Id, Msg)>,
+    payloads: BTreeMap<u64, (Id, Msg)>,
     nodes: BTreeMap<Id, ENode>,
-    pending: HashMap<u64, PendingLookup>,
+    pending: BTreeMap<u64, PendingLookup>,
     completed: Vec<AsyncLookup>,
     next_req: u64,
     /// Messages that died with their recipient.
@@ -178,9 +178,9 @@ impl EventNet {
             time: 0,
             seq: 0,
             queue: BinaryHeap::new(),
-            payloads: HashMap::new(),
+            payloads: BTreeMap::new(),
             nodes: BTreeMap::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             completed: Vec::new(),
             next_req: 0,
             dropped: 0,
@@ -198,19 +198,23 @@ impl EventNet {
         for (i, &id) in ids.iter().enumerate() {
             let mut succ = Vec::new();
             for k in 1..=cfg.successor_list_len.min(count.saturating_sub(1).max(1)) {
+                // autobal-lint: allow(panic-safety, "index is taken modulo ids.len(), always in bounds")
                 succ.push(ids[(i + k) % count]);
             }
             if succ.is_empty() {
                 succ.push(id);
             }
+            // autobal-lint: allow(panic-safety, "index is taken modulo ids.len(), always in bounds")
             let pred = ids[(i + count - 1) % count];
             let mut fingers = vec![None; ID_BITS as usize];
             for (k, f) in fingers.iter_mut().enumerate() {
                 let target = id.wrapping_add(Id::pow2(k as u32));
                 let idx = ids.partition_point(|&x| x < target) % count;
-                *f = Some(ids[idx]);
+                *f = ids.get(idx).copied();
             }
-            let node = net.nodes.get_mut(&id).unwrap();
+            let Some(node) = net.nodes.get_mut(&id) else {
+                continue;
+            };
             node.successors = succ;
             node.predecessor = Some(pred);
             node.fingers = fingers;
@@ -366,7 +370,9 @@ impl EventNet {
             }
             let ids = self.node_ids();
             let idx = self.faults.rng().gen_range(0..ids.len());
-            self.nodes.remove(&ids[idx]);
+            if let Some(victim) = ids.get(idx) {
+                self.nodes.remove(victim);
+            }
         }
     }
 
@@ -419,9 +425,17 @@ impl EventNet {
                 if hops >= self.cfg.max_hops {
                     return; // let the origin's timeout fire
                 }
-                let node = &self.nodes[&dst];
-                let succ = node.successor();
-                if ring::in_arc(node.id, succ, key) && self.nodes.contains_key(&succ) {
+                let (succ, pred_owns) = {
+                    let Some(node) = self.nodes.get(&dst) else {
+                        return;
+                    };
+                    let succ = node.successor();
+                    let pred_owns = node
+                        .predecessor
+                        .is_some_and(|p| ring::in_arc(p, node.id, key));
+                    (succ, pred_owns)
+                };
+                if ring::in_arc(dst, succ, key) && self.nodes.contains_key(&succ) {
                     // The successor owns it; reply straight to origin.
                     self.send(
                         dst,
@@ -433,9 +447,7 @@ impl EventNet {
                             hops: hops + 1,
                         },
                     );
-                } else if node.predecessor.is_some()
-                    && ring::in_arc(node.predecessor.unwrap(), node.id, key)
-                {
+                } else if pred_owns {
                     self.send(
                         dst,
                         origin,
@@ -447,8 +459,10 @@ impl EventNet {
                         },
                     );
                 } else {
-                    let next = self.nodes[&dst]
-                        .closest_preceding(key)
+                    let next = self
+                        .nodes
+                        .get(&dst)
+                        .and_then(|n| n.closest_preceding(key))
                         .filter(|n| self.nodes.contains_key(n))
                         .unwrap_or(succ);
                     if next == dst {
@@ -494,10 +508,11 @@ impl EventNet {
                     // A lookup for one's own id is a join completing:
                     // adopt the owner as successor.
                     if key == dst && owner != dst {
-                        let node = self.nodes.get_mut(&dst).unwrap();
-                        node.successors.retain(|&s| s != owner);
-                        node.successors.insert(0, owner);
-                        node.successors.truncate(self.cfg.successor_list_len);
+                        if let Some(node) = self.nodes.get_mut(&dst) {
+                            node.successors.retain(|&s| s != owner);
+                            node.successors.insert(0, owner);
+                            node.successors.truncate(self.cfg.successor_list_len);
+                        }
                         self.send(dst, owner, Msg::Notify { from: dst });
                     }
                 }
@@ -554,30 +569,36 @@ impl EventNet {
                 // A node cannot test successor liveness locally; dead
                 // entries are detected below, when the probe to `succ`
                 // finds nobody home, and skipped on the next timer.
-                let succ = self.nodes.get(&dst).unwrap().successor();
+                let Some(succ) = self.nodes.get(&dst).map(|n| n.successor()) else {
+                    return;
+                };
                 if succ != dst && self.nodes.contains_key(&succ) {
                     self.send(dst, succ, Msg::GetPredecessor { from: dst });
                 } else if succ != dst {
                     // Successor dead: fall to the next list entry.
-                    let node = self.nodes.get_mut(&dst).unwrap();
-                    node.successors.retain(|&s| s != succ);
-                    for f in node.fingers.iter_mut() {
-                        if *f == Some(succ) {
-                            *f = None;
+                    if let Some(node) = self.nodes.get_mut(&dst) {
+                        node.successors.retain(|&s| s != succ);
+                        for f in node.fingers.iter_mut() {
+                            if *f == Some(succ) {
+                                *f = None;
+                            }
                         }
-                    }
-                    if node.successors.is_empty() {
-                        node.successors.push(dst);
+                        if node.successors.is_empty() {
+                            node.successors.push(dst);
+                        }
                     }
                 }
                 // Refresh a few fingers through real routing.
                 for _ in 0..self.cfg.fingers_per_stabilize {
-                    let (k, target) = {
-                        let node = &self.nodes[&dst];
+                    let Some((k, target)) = self.nodes.get(&dst).map(|node| {
                         let k = node.next_finger % node.fingers.len();
                         (k, node.id.wrapping_add(Id::pow2(k as u32)))
+                    }) else {
+                        break;
                     };
-                    self.nodes.get_mut(&dst).unwrap().next_finger = (k + 1) % ID_BITS as usize;
+                    if let Some(node) = self.nodes.get_mut(&dst) {
+                        node.next_finger = (k + 1) % ID_BITS as usize;
+                    }
                     let req = self.start_lookup_from(dst, target);
                     let _ = req;
                 }
@@ -586,7 +607,9 @@ impl EventNet {
                 self.send_at(at, dst, Msg::StabilizeTimer);
             }
             Msg::GetPredecessor { from } => {
-                let node = &self.nodes[&dst];
+                let Some(node) = self.nodes.get(&dst) else {
+                    return;
+                };
                 let reply = Msg::PredecessorIs {
                     of: dst,
                     pred: node.predecessor,
@@ -600,19 +623,18 @@ impl EventNet {
                 succ_list,
             } => {
                 let cap = self.cfg.successor_list_len;
-                // stabilize: adopt x = succ.pred if it lies between.
-                let adopt = match pred {
-                    Some(x) => {
-                        let me = self.nodes[&dst].id;
-                        x != me && self.nodes.contains_key(&x) && ring::in_open_arc(me, of, x)
-                    }
-                    None => false,
-                };
+                // stabilize: adopt x = succ.pred if it lies between
+                // (`dst` doubles as the node's own id: map key == id).
+                let adopt = pred.filter(|&x| {
+                    x != dst && self.nodes.contains_key(&x) && ring::in_open_arc(dst, of, x)
+                });
                 {
-                    let node = self.nodes.get_mut(&dst).unwrap();
+                    let Some(node) = self.nodes.get_mut(&dst) else {
+                        return;
+                    };
                     let mut list = Vec::with_capacity(cap);
-                    if adopt {
-                        list.push(pred.unwrap());
+                    if let Some(x) = adopt {
+                        list.push(x);
                     }
                     list.push(of);
                     list.extend(succ_list.into_iter().filter(|&s| s != dst));
@@ -620,7 +642,9 @@ impl EventNet {
                     list.truncate(cap);
                     node.successors = list;
                 }
-                let new_succ = self.nodes[&dst].successor();
+                let Some(new_succ) = self.nodes.get(&dst).map(|n| n.successor()) else {
+                    return;
+                };
                 if new_succ != dst {
                     self.stats.record(crate::messages::MessageKind::Notify);
                     self.send(dst, new_succ, Msg::Notify { from: dst });
@@ -630,13 +654,18 @@ impl EventNet {
                 if !self.nodes.contains_key(&from) {
                     return;
                 }
-                let node = self.nodes.get_mut(&dst).unwrap();
-                let accept = match node.predecessor {
+                let old_pred = match self.nodes.get(&dst) {
+                    Some(node) => node.predecessor,
+                    None => return,
+                };
+                let accept = match old_pred {
                     None => true,
                     Some(p) => !self.nodes.contains_key(&p) || ring::in_open_arc(p, dst, from),
                 };
                 if accept {
-                    self.nodes.get_mut(&dst).unwrap().predecessor = Some(from);
+                    if let Some(node) = self.nodes.get_mut(&dst) {
+                        node.predecessor = Some(from);
+                    }
                 }
             }
         }
@@ -648,13 +677,15 @@ impl EventNet {
             return true;
         }
         for (&id, node) in &self.nodes {
-            let truth = self
+            let Some(truth) = self
                 .nodes
                 .range((std::ops::Bound::Excluded(id), std::ops::Bound::Unbounded))
                 .next()
                 .map(|(i, _)| *i)
                 .or_else(|| self.nodes.keys().next().copied())
-                .unwrap();
+            else {
+                return false;
+            };
             if node.successor() != truth {
                 return false;
             }

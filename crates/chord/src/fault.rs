@@ -171,6 +171,7 @@ impl FaultState {
     /// the seed, not on how many messages flowed before a window opens.
     pub fn new(plan: FaultPlan) -> FaultState {
         #[cfg(feature = "strict")]
+        // autobal-lint: allow(panic-safety, "strict mode is opt-in and fails loudly by design")
         plan.validate().expect("invalid fault plan");
         let mut rng = ChaCha8Rng::seed_from_u64(plan.seed ^ 0xFA17_FA17);
         let pivots = plan

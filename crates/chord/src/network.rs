@@ -306,8 +306,11 @@ impl Network {
     /// # Panics
     /// Panics if the network is empty.
     pub fn insert_key(&mut self, key: Id) -> Id {
+        // autobal-lint: allow(panic-safety, "documented panic: inserting into an empty network is a caller bug")
         let owner = self.owner_of(key).expect("insert_key on empty network");
-        self.nodes.get_mut(&owner).unwrap().keys.insert(key);
+        if let Some(n) = self.nodes.get_mut(&owner) {
+            n.keys.insert(key);
+        }
         owner
     }
 
@@ -335,7 +338,9 @@ impl Network {
             if hops as usize > self.cfg.max_lookup_hops {
                 return Err(NetworkError::LookupFailed { hops });
             }
-            let node = &self.nodes[&cur];
+            let Some(node) = self.nodes.get(&cur) else {
+                return Err(NetworkError::UnknownNode(cur));
+            };
             // Does the current node already own the key?
             if node.owns(key) && self.nodes.contains_key(&node.predecessor()) {
                 return Ok(LookupResult {
@@ -358,7 +363,9 @@ impl Network {
             }
             // Otherwise route through the closest preceding live entry.
             let next = {
-                let node = &self.nodes[&cur];
+                let Some(node) = self.nodes.get(&cur) else {
+                    return Err(NetworkError::UnknownNode(cur));
+                };
                 let mut candidate = node.closest_preceding(key);
                 // Skip dead candidates, forgetting them as we go.
                 loop {
@@ -366,7 +373,9 @@ impl Network {
                         Some(c) if self.nodes.contains_key(&c) => break Some(c),
                         Some(c) => {
                             self.stats.record(MessageKind::Ping);
-                            let n = self.nodes.get_mut(&cur).unwrap();
+                            let Some(n) = self.nodes.get_mut(&cur) else {
+                                break None;
+                            };
                             n.forget(c);
                             candidate = n.closest_preceding(key);
                         }
@@ -418,7 +427,9 @@ impl Network {
                 return Some(cand);
             }
             self.stats.record(MessageKind::Ping);
-            self.nodes.get_mut(&id).unwrap().forget(cand);
+            if let Some(n) = self.nodes.get_mut(&id) {
+                n.forget(cand);
+            }
             if self.nodes.get(&id)?.successors.is_empty() {
                 return None;
             }
@@ -443,16 +454,21 @@ impl Network {
         }
 
         let succ_id = self.lookup(contact, new_id)?.owner;
-        let pred_id = self
+        let Some(pred_id) = self
             .nodes
             .get(&succ_id)
             .map(|s| s.predecessor())
             .filter(|p| self.nodes.contains_key(p))
-            .unwrap_or_else(|| self.truth_predecessor(succ_id).unwrap());
+            .or_else(|| self.truth_predecessor(succ_id))
+        else {
+            return Err(NetworkError::UnknownNode(succ_id));
+        };
 
         // Take over keys in (pred, new_id] from the successor, values
         // included.
-        let succ = self.nodes.get_mut(&succ_id).unwrap();
+        let Some(succ) = self.nodes.get_mut(&succ_id) else {
+            return Err(NetworkError::UnknownNode(succ_id));
+        };
         let moved: Vec<Id> = succ
             .keys
             .iter()
@@ -472,16 +488,18 @@ impl Network {
         // Build the new node.
         let mut node = Node::solo(new_id);
         node.successors = {
-            let succ = &self.nodes[&succ_id];
             let mut list = vec![succ_id];
-            list.extend(succ.successors.iter().copied().filter(|&s| s != new_id));
+            if let Some(succ) = self.nodes.get(&succ_id) {
+                list.extend(succ.successors.iter().copied().filter(|&s| s != new_id));
+            }
             list.truncate(self.cfg.successor_list_len);
             list
         };
         node.predecessors = {
-            let pred = &self.nodes[&pred_id];
             let mut list = vec![pred_id];
-            list.extend(pred.predecessors.iter().copied().filter(|&p| p != new_id));
+            if let Some(pred) = self.nodes.get(&pred_id) {
+                list.extend(pred.predecessors.iter().copied().filter(|&p| p != new_id));
+            }
             list.truncate(self.cfg.predecessor_list_len);
             list
         };
@@ -535,15 +553,21 @@ impl Network {
             self.nodes.remove(&id);
             return Ok(());
         }
-        let succ_id = self.truth_successor(id).unwrap();
-        let pred_id = self.truth_predecessor(id).unwrap();
+        let (Some(succ_id), Some(pred_id)) = (self.truth_successor(id), self.truth_predecessor(id))
+        else {
+            return Err(NetworkError::UnknownNode(id));
+        };
 
-        let node = self.nodes.remove(&id).unwrap();
+        let Some(node) = self.nodes.remove(&id) else {
+            return Err(NetworkError::UnknownNode(id));
+        };
         let keys = node.keys;
         let store = node.store;
         self.stats
             .record_n(MessageKind::KeyTransfer, keys.len().max(1) as u64);
-        let succ = self.nodes.get_mut(&succ_id).unwrap();
+        let Some(succ) = self.nodes.get_mut(&succ_id) else {
+            return Err(NetworkError::UnknownNode(succ_id));
+        };
         succ.keys.extend(keys);
         succ.store.extend(store);
         succ.forget(id);
@@ -552,7 +576,9 @@ impl Network {
         succ.predecessors.truncate(self.cfg.predecessor_list_len);
 
         let slen = self.cfg.successor_list_len;
-        let pred = self.nodes.get_mut(&pred_id).unwrap();
+        let Some(pred) = self.nodes.get_mut(&pred_id) else {
+            return Err(NetworkError::UnknownNode(pred_id));
+        };
         pred.forget(id);
         pred.successors.retain(|&s| s != succ_id);
         pred.successors.insert(0, succ_id);
@@ -602,6 +628,7 @@ impl Network {
         for (i, &id) in ids.iter().enumerate() {
             let mut successors = Vec::with_capacity(self.cfg.successor_list_len);
             for k in 1..=self.cfg.successor_list_len.min(n.saturating_sub(1).max(1)) {
+                // autobal-lint: allow(panic-safety, "index is taken modulo ids.len(), always in bounds")
                 successors.push(ids[(i + k) % n]);
             }
             if successors.is_empty() {
@@ -613,6 +640,7 @@ impl Network {
                 .predecessor_list_len
                 .min(n.saturating_sub(1).max(1))
             {
+                // autobal-lint: allow(panic-safety, "index is taken modulo ids.len(), always in bounds")
                 predecessors.push(ids[(i + n - k % n) % n]);
             }
             if predecessors.is_empty() {
@@ -623,7 +651,9 @@ impl Network {
                 let target = id.wrapping_add(Id::pow2(k as u32));
                 *f = self.owner_of_in(&ids, target);
             }
-            let node = self.nodes.get_mut(&id).unwrap();
+            let Some(node) = self.nodes.get_mut(&id) else {
+                continue;
+            };
             node.successors = successors;
             node.predecessors = predecessors;
             node.fingers = fingers;
@@ -646,14 +676,19 @@ impl Network {
         let holders: Vec<Id> = self.nodes.keys().copied().collect();
         let mut stranded: Vec<(Id, Option<bytes::Bytes>)> = Vec::new();
         for h in holders {
-            let dead: Vec<Id> = self.nodes[&h]
+            let Some(holder) = self.nodes.get(&h) else {
+                continue;
+            };
+            let dead: Vec<Id> = holder
                 .replicas
                 .keys()
                 .copied()
                 .filter(|o| !self.nodes.contains_key(o))
                 .collect();
             for owner in dead {
-                let node = self.nodes.get_mut(&h).unwrap();
+                let Some(node) = self.nodes.get_mut(&h) else {
+                    continue;
+                };
                 let keys = node.replicas.remove(&owner).unwrap_or_default();
                 let mut values = node.replica_store.remove(&owner).unwrap_or_default();
                 report.stale_replicas_purged += 1;
@@ -674,7 +709,9 @@ impl Network {
         for (k, v) in stranded {
             let owner = self.insert_key(k);
             if let Some(v) = v {
-                self.nodes.get_mut(&owner).unwrap().store.insert(k, v);
+                if let Some(n) = self.nodes.get_mut(&owner) {
+                    n.store.insert(k, v);
+                }
             }
         }
         report
@@ -686,9 +723,8 @@ impl Network {
             return None;
         }
         match sorted.binary_search(&key) {
-            Ok(i) => Some(sorted[i]),
-            Err(i) if i < sorted.len() => Some(sorted[i]),
-            Err(_) => Some(sorted[0]),
+            Ok(i) => sorted.get(i).copied(),
+            Err(i) => sorted.get(i).copied().or_else(|| sorted.first().copied()),
         }
     }
 

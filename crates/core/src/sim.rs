@@ -726,7 +726,7 @@ impl Actions for SimNodeCtx<'_> {
 
 /// Draws `n` distinct random ids.
 fn unique_random_ids(n: usize, rng: &mut DetRng) -> Vec<Id> {
-    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let id = Id::random(rng);

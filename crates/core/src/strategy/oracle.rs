@@ -14,6 +14,7 @@
 //! only runs on the oracle-ring substrate; a real Chord network cannot
 //! (and must not) provide that view.
 
+// autobal-lint: allow(strategy-locality, "the centralized comparator is the one sanctioned OracleView consumer")
 use super::{OracleView, Strategy, StrategyScope};
 use autobal_id::Id;
 use std::cmp::Reverse;
@@ -32,6 +33,7 @@ impl Strategy for CentralizedOracle {
         StrategyScope::Omniscient
     }
 
+    // autobal-lint: allow(strategy-locality, "omniscient dispatch is this strategy's documented role")
     fn check_global(&self, view: &mut dyn OracleView) {
         // Eligible helpers, least-loaded first.
         let mut helpers: Vec<usize> = (0..view.worker_count())

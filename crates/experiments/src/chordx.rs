@@ -89,7 +89,10 @@ pub fn maintenance_cost(args: &Args) {
                     waiting += 1;
                 }
             }
-            for _ in 0..waiting {
+            // Snapshot the pool size: joins this cycle shrink `waiting`
+            // without changing how many candidates get a coin flip.
+            let pool = waiting;
+            for _ in 0..pool {
                 if rng.gen::<f64>() <= rate {
                     let contact = net.node_ids()[0];
                     if net.join(Id::random(&mut rng), contact).is_ok() {

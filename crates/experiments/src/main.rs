@@ -37,6 +37,9 @@ fn main() {
         args.seed,
         args.out.display()
     );
+    // Wall-clock is the one intentionally nondeterministic output; it is
+    // reported on stderr only so result artifacts stay byte-identical.
+    // autobal-lint: allow(determinism, "wall-clock timing is reported on stderr only, never in results")
     let t0 = std::time::Instant::now();
 
     if args.wants("table1") {
@@ -103,5 +106,5 @@ fn main() {
         resilience::resilience(&args);
     }
 
-    println!("done in {:?}", t0.elapsed());
+    eprintln!("done in {:?}", t0.elapsed());
 }

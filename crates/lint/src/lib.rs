@@ -1,0 +1,762 @@
+//! `autobal-lint` — the workspace invariant analyzer.
+//!
+//! The repo's three load-bearing contracts are enforced at runtime by
+//! `tests/determinism.rs`, `tests/strategy_parity.rs`, and the chaos
+//! suite — but a runtime test only catches a violation when a seed
+//! happens to expose it. This crate machine-checks the contracts at the
+//! source level, before any seed gets a vote:
+//!
+//! * **D — determinism** (`determinism`): no `thread_rng`, no
+//!   entropy-seeded RNGs, no wall-clock (`SystemTime` / `Instant`), and
+//!   no unordered containers (`HashMap` / `HashSet`) in the decision
+//!   paths of `autobal-core`, `autobal-chord`, `autobal-workload`,
+//!   `autobal-experiments`, and the root crate. Deterministic runs must
+//!   draw all randomness from seeded ChaCha streams, all time from the
+//!   simulated clock, and all iteration from ordered containers.
+//! * **P — panic-safety** (`panic-safety`): no `unwrap()` / `expect()` /
+//!   `panic!` / slice-indexing in the `autobal-chord` message-delivery
+//!   and retry paths (`network.rs`, `eventnet.rs`, `fault.rs`). The
+//!   fault plane guarantees those paths are fallible; they must return
+//!   `NetworkError` / `ActionError` and degrade, not crash.
+//! * **S — strategy locality** (`strategy-locality`): strategy modules
+//!   under `crates/core/src/strategy/` may only see the
+//!   `LocalView` / `Actions` / `Substrate` surface — never
+//!   `autobal_chord` internals, the global simulator (`crate::sim`),
+//!   the global ring (`crate::ring`), or the omniscient `OracleView`
+//!   (`oracle.rs` carries an explicit, audited exemption). This
+//!   mechanizes the paper's claim that every strategy is fully
+//!   decentralized.
+//!
+//! Findings are suppressible only via an audited annotation — a plain
+//! line comment on the offending line or the line directly above it:
+//!
+//! ```text
+//! autobal-lint: allow(<rule>, "<reason>")
+//! ```
+//!
+//! Each annotation suppresses exactly one finding; an annotation that
+//! suppresses nothing is itself reported (`unused-allow`), as is one
+//! that does not parse (`malformed-allow`). Test code (`#[cfg(test)]`
+//! modules and the `tests/` trees) is exempt from D/P/S: assertions may
+//! unwrap and iterate however they like.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule families (plus the two meta-diagnostics that keep the
+/// annotation escape hatch honest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D: seeded-stream determinism in decision paths.
+    Determinism,
+    /// P: graceful degradation in message-delivery/retry paths.
+    PanicSafety,
+    /// S: strategies see only the LocalView/Actions/Substrate surface.
+    StrategyLocality,
+    /// An `allow` annotation that suppressed no finding.
+    UnusedAllow,
+    /// An `autobal-lint:` marker that does not parse as
+    /// `allow(<rule>, "<reason>")`.
+    MalformedAllow,
+}
+
+impl Rule {
+    /// The identifier used inside `allow(...)` annotations and printed
+    /// in diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicSafety => "panic-safety",
+            Rule::StrategyLocality => "strategy-locality",
+            Rule::UnusedAllow => "unused-allow",
+            Rule::MalformedAllow => "malformed-allow",
+        }
+    }
+
+    /// Parses an annotation rule identifier.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "determinism" => Some(Rule::Determinism),
+            "panic-safety" => Some(Rule::PanicSafety),
+            "strategy-locality" => Some(Rule::StrategyLocality),
+            _ => None,
+        }
+    }
+}
+
+/// One diagnostic: a rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Blanks comments and string/char-literal contents while preserving
+/// the line structure, so pattern matching only ever sees code.
+///
+/// Handles line comments, nested block comments, escaped string
+/// literals, raw (and byte) strings with any number of `#`s, and the
+/// char-literal vs. lifetime ambiguity.
+pub fn strip_code(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    // Pushes a blanked char, preserving newlines.
+    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push_str("  ");
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / raw-byte strings: r"...", r#"..."#, br"...", etc.
+        if (c == 'r' || c == 'b') && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    for _ in i..=k {
+                        out.push(' ');
+                    }
+                    i = k + 1;
+                    while i < n {
+                        if b[i] == '"'
+                            && (i + hashes < n)
+                            && b[i + 1..].iter().take(hashes).all(|&h| h == '#')
+                        {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let closed = b[i] == '"';
+                blank(&mut out, b[i]);
+                i += 1;
+                if closed {
+                    break;
+                }
+            }
+            continue;
+        }
+        if c == '\'' {
+            // 'x' or '\n' is a char literal; 'a (no closing quote within
+            // reach) is a lifetime and stays in the code text.
+            if i + 1 < n && b[i + 1] == '\\' {
+                out.push(' ');
+                i += 1;
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\\' && i + 1 < n {
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                    } else {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                out.push_str("   ");
+                i += 3;
+                continue;
+            }
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Marks which lines (1-indexed offset 0) sit inside `#[cfg(test)]`
+/// blocks. Operates on stripped code so strings cannot fake the
+/// attribute.
+pub fn test_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut skip_from: Option<i64> = None;
+    for (li, line) in lines.iter().enumerate() {
+        if pending || skip_from.is_some() {
+            mask[li] = true;
+        }
+        if skip_from.is_none() && line.contains("#[cfg(test)]") {
+            pending = true;
+            mask[li] = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending && skip_from.is_none() {
+                        skip_from = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if skip_from == Some(depth) {
+                        skip_from = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+/// A parsed `allow(<rule>, "<reason>")` annotation comment.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: usize, // 1-indexed
+    rule: Rule,
+    /// The stripped code on this line is blank: the annotation stands
+    /// alone and therefore guards the *next* line.
+    standalone: bool,
+    used: bool,
+}
+
+const MARKER: &str = "autobal-lint:";
+
+/// Finds the annotation marker inside a *plain* line comment (`//`, not
+/// `///` or `//!` — doc text may mention the syntax without being an
+/// annotation). Returns the offset just past the marker.
+fn marker_in_comment(line: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(p) = line[search..].find("//") {
+        let at = search + p;
+        let after = line[at + 2..].chars().next();
+        if after != Some('/') && after != Some('!') {
+            return line[at..].find(MARKER).map(|m| at + m + MARKER.len());
+        }
+        search = at + 2;
+    }
+    None
+}
+
+/// Extracts allow annotations (and malformed-marker findings) from the
+/// raw source. Annotations inside `#[cfg(test)]` blocks are ignored —
+/// test code is exempt from the rules, so it has nothing to suppress.
+fn parse_allows(
+    file: &Path,
+    raw: &str,
+    stripped: &str,
+    mask: &[bool],
+) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    for (idx, line) in raw.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(pos) = marker_in_comment(line) else {
+            continue;
+        };
+        let lineno = idx + 1;
+        let rest = line[pos..].trim_start();
+        let parsed = (|| -> Result<Rule, String> {
+            let rest = rest
+                .strip_prefix("allow(")
+                .ok_or_else(|| "expected `allow(<rule>, \"<reason>\")`".to_string())?;
+            let (rule_id, rest) = rest
+                .split_once(',')
+                .ok_or_else(|| "missing `, \"<reason>\"` after rule".to_string())?;
+            let rule = Rule::from_id(rule_id.trim())
+                .ok_or_else(|| format!("unknown rule `{}`", rule_id.trim()))?;
+            let rest = rest.trim_start();
+            let rest = rest
+                .strip_prefix('"')
+                .ok_or_else(|| "reason must be a quoted string".to_string())?;
+            let (reason, rest) = rest
+                .split_once('"')
+                .ok_or_else(|| "unterminated reason string".to_string())?;
+            if reason.trim().is_empty() {
+                return Err("reason must not be empty".to_string());
+            }
+            if !rest.trim_start().starts_with(')') {
+                return Err("missing closing `)`".to_string());
+            }
+            Ok(rule)
+        })();
+        match parsed {
+            Ok(rule) => allows.push(Allow {
+                line: lineno,
+                rule,
+                standalone: code_lines.get(idx).copied().unwrap_or("").trim().is_empty(),
+                used: false,
+            }),
+            Err(why) => bad.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::MalformedAllow,
+                message: format!("unparseable autobal-lint annotation: {why}"),
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Returns true when `word` occurs in `line` delimited by non-identifier
+/// characters.
+fn has_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(p) = line[start..].find(word) {
+        let at = start + p;
+        let before_ok = at == 0 || !is_ident(line[..at].chars().next_back().unwrap_or(' '));
+        let after = line[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Detects `.unwrap` / `.expect` method calls (word-delimited, so
+/// `unwrap_or` and friends do not match).
+fn has_method(line: &str, name: &str) -> bool {
+    let needle = format!(".{name}");
+    let mut start = 0;
+    while let Some(p) = line[start..].find(&needle) {
+        let at = start + p;
+        let after = line[at + needle.len()..].chars().next();
+        if !after.is_some_and(is_ident) {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Keywords that may directly precede a `[` without it being an index
+/// expression (`for x in [..]`, `return [..]`, `let [a, b] = ..`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "break", "continue", "else", "in", "let", "match", "mut", "ref", "return", "static",
+    "true", "false", "yield", "move", "box", "dyn", "while", "if",
+];
+
+/// Detects index expressions: a `[` directly preceded by an identifier,
+/// `)`, `]`, or `?` is an indexing operation (and can panic);
+/// `#[attr]`, `vec![...]`, types `[T; N]`, `for x in [..]`, and slice
+/// patterns after keywords are not.
+fn has_index_expr(line: &str) -> bool {
+    let mut prev = ' '; // last non-whitespace char
+    let mut token = String::new(); // identifier token `prev` belongs to
+    let mut in_token = false;
+    for c in line.chars() {
+        if c == '[' {
+            let indexes = if is_ident(prev) {
+                !NON_INDEX_KEYWORDS.contains(&token.as_str())
+            } else {
+                prev == ')' || prev == ']' || prev == '?'
+            };
+            if indexes {
+                return true;
+            }
+        }
+        if is_ident(c) {
+            if !in_token {
+                token.clear();
+                in_token = true;
+            }
+            token.push(c);
+        } else {
+            in_token = false;
+        }
+        if !c.is_whitespace() {
+            prev = c;
+        }
+    }
+    false
+}
+
+/// Which rule families apply to a workspace-relative path (forward
+/// slashes, no leading `./`).
+pub fn rules_for(rel: &str) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    let in_determinism_scope = rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/chord/src/")
+        || rel.starts_with("crates/workload/src/")
+        || rel.starts_with("crates/experiments/src/")
+        || rel.starts_with("src/");
+    if in_determinism_scope {
+        rules.push(Rule::Determinism);
+    }
+    if matches!(
+        rel,
+        "crates/chord/src/network.rs"
+            | "crates/chord/src/eventnet.rs"
+            | "crates/chord/src/fault.rs"
+    ) {
+        rules.push(Rule::PanicSafety);
+    }
+    // `mod.rs` *defines* the strategy surface (including `OracleView`),
+    // so only the concrete strategy modules are held to locality.
+    if rel.starts_with("crates/core/src/strategy/") && !rel.ends_with("/mod.rs") {
+        rules.push(Rule::StrategyLocality);
+    }
+    rules
+}
+
+/// One pattern of a rule family: matcher + diagnostic.
+struct Check {
+    rule: Rule,
+    matches: fn(&str) -> bool,
+    message: &'static str,
+}
+
+fn checks() -> Vec<Check> {
+    vec![
+        // ---- D: determinism ------------------------------------------
+        Check {
+            rule: Rule::Determinism,
+            matches: |l| has_word(l, "thread_rng"),
+            message: "thread_rng is nondeterministic; draw from a seeded ChaCha stream",
+        },
+        Check {
+            rule: Rule::Determinism,
+            matches: |l| has_word(l, "from_entropy"),
+            message: "entropy-seeded RNG is nondeterministic; use seed_from_u64 on a pinned seed",
+        },
+        Check {
+            rule: Rule::Determinism,
+            matches: |l| has_word(l, "SystemTime"),
+            message: "wall-clock time in a deterministic path; use the simulated clock",
+        },
+        Check {
+            rule: Rule::Determinism,
+            matches: |l| has_word(l, "Instant"),
+            message: "wall-clock time in a deterministic path; use the simulated clock",
+        },
+        Check {
+            rule: Rule::Determinism,
+            matches: |l| has_word(l, "HashMap"),
+            message:
+                "HashMap iteration order is unstable; use BTreeMap or explicitly sorted iteration",
+        },
+        Check {
+            rule: Rule::Determinism,
+            matches: |l| has_word(l, "HashSet"),
+            message:
+                "HashSet iteration order is unstable; use BTreeSet or explicitly sorted iteration",
+        },
+        // ---- P: panic-safety -----------------------------------------
+        Check {
+            rule: Rule::PanicSafety,
+            matches: |l| has_method(l, "unwrap"),
+            message: "unwrap() in a message-delivery/retry path; return an error or degrade",
+        },
+        Check {
+            rule: Rule::PanicSafety,
+            matches: |l| has_method(l, "expect"),
+            message: "expect() in a message-delivery/retry path; return an error or degrade",
+        },
+        Check {
+            rule: Rule::PanicSafety,
+            matches: |l| has_word(l, "panic!") || l.contains("panic!("),
+            message: "panic! in a message-delivery/retry path; return an error or degrade",
+        },
+        Check {
+            rule: Rule::PanicSafety,
+            matches: |l| l.contains("unreachable!("),
+            message: "unreachable! in a message-delivery/retry path; return an error or degrade",
+        },
+        Check {
+            rule: Rule::PanicSafety,
+            matches: has_index_expr,
+            message: "slice/map indexing can panic under faults; use get()/get_mut()",
+        },
+        // ---- S: strategy locality ------------------------------------
+        Check {
+            rule: Rule::StrategyLocality,
+            matches: |l| has_word(l, "autobal_chord"),
+            message: "strategy reaches into Chord internals; strategies see only LocalView/Actions",
+        },
+        Check {
+            rule: Rule::StrategyLocality,
+            matches: |l| l.contains("crate::sim"),
+            message: "strategy touches the global simulator; strategies see only LocalView/Actions",
+        },
+        Check {
+            rule: Rule::StrategyLocality,
+            matches: |l| l.contains("crate::ring"),
+            message: "strategy touches global ring state; strategies see only LocalView/Actions",
+        },
+        Check {
+            rule: Rule::StrategyLocality,
+            matches: |l| l.contains("crate::trace") || l.contains("crate::metrics"),
+            message: "strategy touches global observability state; use the Actions surface",
+        },
+        Check {
+            rule: Rule::StrategyLocality,
+            matches: |l| has_word(l, "OracleView"),
+            message:
+                "OracleView is the omniscient surface; decentralized strategies must not see it",
+        },
+    ]
+}
+
+/// Scans one file's source, applying the rules `rules_for(rel)` selects.
+/// `rel` is the workspace-relative path used in diagnostics.
+pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
+    let file = PathBuf::from(rel);
+    let active = rules_for(rel);
+    let stripped = strip_code(src);
+    let mask = test_mask(&stripped);
+    let (mut allows, mut findings) = parse_allows(&file, src, &stripped, &mask);
+    let all_checks = checks();
+
+    for (idx, line) in stripped.lines().enumerate() {
+        let lineno = idx + 1;
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for check in all_checks.iter().filter(|c| active.contains(&c.rule)) {
+            if !(check.matches)(line) {
+                continue;
+            }
+            // An annotation on this line, or standing alone on the line
+            // above, suppresses exactly one finding of its rule.
+            let suppressed = allows.iter_mut().find(|a| {
+                !a.used
+                    && a.rule == check.rule
+                    && (a.line == lineno || (a.standalone && a.line + 1 == lineno))
+            });
+            if let Some(a) = suppressed {
+                a.used = true;
+                continue;
+            }
+            findings.push(Finding {
+                file: file.clone(),
+                line: lineno,
+                rule: check.rule,
+                message: check.message.to_string(),
+            });
+        }
+    }
+
+    for a in allows.iter().filter(|a| !a.used) {
+        findings.push(Finding {
+            file: file.clone(),
+            line: a.line,
+            rule: Rule::UnusedAllow,
+            message: format!(
+                "allow({}) suppressed nothing; remove the annotation",
+                a.rule.id()
+            ),
+        });
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable
+/// diagnostics.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The first-party source roots the analyzer walks, relative to the
+/// workspace root. Integration tests, benches, fixtures, and the
+/// vendored stand-ins are deliberately out of scope.
+pub const SCAN_ROOTS: &[&str] = &[
+    "src",
+    "crates/bench/src",
+    "crates/chord/src",
+    "crates/core/src",
+    "crates/experiments/src",
+    "crates/id/src",
+    "crates/lint/src",
+    "crates/stats/src",
+    "crates/viz/src",
+    "crates/workload/src",
+];
+
+/// Scans the whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        collect_rs(&root.join(sub), &mut files)?;
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(scan_source(&rel, &src));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_strings() {
+        let src = "let a = \"thread_rng\"; // thread_rng\nlet b = 1;";
+        let s = strip_code(src);
+        assert!(!s.contains("thread_rng"));
+        assert!(s.contains("let b = 1;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_chars() {
+        let src = "let r = r#\"HashMap \" inner\"#; let c = '\\n'; let l: &'static str = x;";
+        let s = strip_code(src);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("'static"));
+    }
+
+    #[test]
+    fn strip_handles_nested_block_comments() {
+        let src = "/* outer /* inner HashMap */ still */ let x = 1;";
+        let s = strip_code(src);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_word("let my_thread_rng_count = 1;", "thread_rng"));
+        assert!(has_method(".unwrap()", "unwrap"));
+        assert!(!has_method("x.unwrap_or(3)", "unwrap"));
+        assert!(!has_method("x.unwrap_or_else(f)", "unwrap"));
+    }
+
+    #[test]
+    fn index_detection() {
+        assert!(has_index_expr("let x = ids[(i + k) % n];"));
+        assert!(has_index_expr("let y = self.nodes[&cur];"));
+        assert!(has_index_expr("f()[0]"));
+        assert!(!has_index_expr("#[cfg(feature = x)]"));
+        assert!(!has_index_expr("let v = vec![None; 4];"));
+        assert!(!has_index_expr("let a: [u8; 4] = x;"));
+        assert!(!has_index_expr("fn f(s: &[Id]) {}"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_masked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let mask = test_mask(&strip_code(src));
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn scope_selection() {
+        assert_eq!(
+            rules_for("crates/chord/src/network.rs"),
+            vec![Rule::Determinism, Rule::PanicSafety]
+        );
+        assert_eq!(
+            rules_for("crates/core/src/strategy/random.rs"),
+            vec![Rule::Determinism, Rule::StrategyLocality]
+        );
+        assert_eq!(
+            rules_for("crates/core/src/strategy/mod.rs"),
+            vec![Rule::Determinism]
+        );
+        assert_eq!(rules_for("crates/viz/src/svg.rs"), Vec::<Rule>::new());
+        assert_eq!(rules_for("src/protocol_sim.rs"), vec![Rule::Determinism]);
+    }
+}

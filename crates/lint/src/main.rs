@@ -1,0 +1,64 @@
+//! The `autobal-lint` binary: scans the workspace's first-party crates
+//! and exits nonzero when any invariant violation is found.
+//!
+//! ```text
+//! cargo run --release -p autobal-lint            # scan the workspace
+//! cargo run --release -p autobal-lint -- <root>  # scan an explicit root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Walks upward from `start` to the directory that owns the workspace
+/// (identified by a `Cargo.toml` next to a `crates/` directory).
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) if arg == "--help" || arg == "-h" => {
+            eprintln!("usage: autobal-lint [WORKSPACE_ROOT]");
+            eprintln!("Checks determinism, panic-safety, and strategy-locality invariants.");
+            return ExitCode::SUCCESS;
+        }
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("autobal-lint: cannot locate the workspace root; pass it explicitly");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let findings = match autobal_lint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("autobal-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("autobal-lint: clean ({} rule families enforced)", 3);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("autobal-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,151 @@
+//! The fixture corpus for the analyzer.
+//!
+//! Every file under `tests/fixtures/` is a plain-text Rust source (never
+//! compiled) whose first line declares the virtual workspace path the
+//! scanner should believe it lives at:
+//!
+//! ```text
+//! //@ path: crates/chord/src/network.rs
+//! ```
+//!
+//! Each line expected to produce a finding carries a `//~ ERROR <rule>`
+//! marker. The harness runs [`autobal_lint::scan_source`] on every
+//! fixture and demands an exact match between markers and findings —
+//! both directions: a missed finding and a spurious one both fail.
+
+use autobal_lint::{scan_source, scan_workspace, Rule, SCAN_ROOTS};
+use std::path::{Path, PathBuf};
+
+const MARKER: &str = "//~ ERROR ";
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Parses the `//~ ERROR <rule>` markers of a fixture into the expected
+/// `(line, rule)` set, sorted the way `scan_source` sorts findings.
+fn expected_markers(src: &str) -> Vec<(usize, Rule)> {
+    let mut expected = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let mut search = 0;
+        while let Some(p) = line[search..].find(MARKER) {
+            let at = search + p + MARKER.len();
+            let id: String = line[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                .collect();
+            let rule = match id.as_str() {
+                "unused-allow" => Rule::UnusedAllow,
+                "malformed-allow" => Rule::MalformedAllow,
+                other => Rule::from_id(other)
+                    .unwrap_or_else(|| panic!("fixture marker names unknown rule `{other}`")),
+            };
+            expected.push((idx + 1, rule));
+            search = at;
+        }
+    }
+    expected.sort();
+    expected
+}
+
+fn fixture_sources() -> Vec<(String, String)> {
+    let dir = fixtures_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            let src = std::fs::read_to_string(&p).expect("fixture readable");
+            (name, src)
+        })
+        .collect()
+}
+
+/// Every fixture's findings must match its markers exactly, file:line
+/// and rule included.
+#[test]
+fn corpus_findings_match_markers() {
+    let fixtures = fixture_sources();
+    assert!(fixtures.len() >= 6, "corpus went missing");
+    for (name, src) in &fixtures {
+        let first = src.lines().next().unwrap_or("");
+        let rel = first
+            .strip_prefix("//@ path: ")
+            .unwrap_or_else(|| panic!("fixture {name} missing `//@ path:` header"))
+            .trim();
+        let expected = expected_markers(src);
+        let got: Vec<(usize, Rule)> = scan_source(rel, src)
+            .iter()
+            .map(|f| (f.line, f.rule))
+            .collect();
+        assert_eq!(
+            got, expected,
+            "fixture {name} (as {rel}): findings != markers"
+        );
+    }
+}
+
+/// The corpus exercises every rule family, including both
+/// annotation-audit meta-diagnostics.
+#[test]
+fn corpus_covers_every_rule() {
+    let mut seen = Vec::new();
+    for (_, src) in fixture_sources() {
+        seen.extend(expected_markers(&src).into_iter().map(|(_, r)| r));
+    }
+    for rule in [
+        Rule::Determinism,
+        Rule::PanicSafety,
+        Rule::StrategyLocality,
+        Rule::UnusedAllow,
+        Rule::MalformedAllow,
+    ] {
+        assert!(seen.contains(&rule), "no fixture exercises {}", rule.id());
+    }
+}
+
+/// A standalone annotation guards exactly one line; a second identical
+/// violation right after it must still be reported.
+#[test]
+fn allow_suppresses_exactly_one_finding() {
+    let src = "// autobal-lint: allow(determinism, \"guards one line\")\n\
+               use std::collections::HashMap;\n\
+               use std::collections::HashMap as Second;\n";
+    let got = scan_source("crates/core/src/x.rs", src);
+    assert_eq!(got.len(), 1, "exactly one finding: {got:?}");
+    assert_eq!((got[0].line, got[0].rule), (3, Rule::Determinism));
+}
+
+/// The shipped tree itself must be clean — the analyzer's findings are
+/// fixed or annotated, never outstanding.
+#[test]
+fn real_workspace_is_clean() {
+    let root = workspace_root();
+    for sub in SCAN_ROOTS {
+        assert!(
+            root.join(sub).is_dir() || *sub == "crates/bench/src",
+            "scan root {sub} missing below {}",
+            root.display()
+        );
+    }
+    let findings = scan_workspace(&root).expect("workspace scan succeeds");
+    let listing: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        listing.join("\n")
+    );
+}

@@ -1,0 +1,37 @@
+//@ path: crates/chord/src/network.rs
+// Annotation-audit fixture: allows suppress exactly one finding each,
+// unused and malformed annotations are themselves reported.
+
+// Same-line allow: suppressed, no finding.
+pub fn same_line(x: Option<u64>) -> u64 {
+    x.unwrap() // autobal-lint: allow(panic-safety, "fixture: same-line suppression")
+}
+
+// Standalone allow guards only the next line: the first call is
+// suppressed, the identical one after it is still flagged.
+pub fn standalone(x: Option<u64>, y: Option<u64>) -> u64 {
+    // autobal-lint: allow(panic-safety, "fixture: guards exactly one line")
+    let a = x.unwrap();
+    let b = y.unwrap(); //~ ERROR panic-safety
+    a + b
+}
+
+// An allow that suppresses nothing is reported where it stands.
+// autobal-lint: allow(panic-safety, "fixture: nothing to suppress") //~ ERROR unused-allow
+pub fn clean_line() -> u64 {
+    7
+}
+
+// An allow for the wrong family suppresses nothing: the original
+// finding survives and the annotation is reported as unused.
+pub fn wrong_family(x: Option<u64>) -> u64 {
+    x.unwrap() // autobal-lint: allow(determinism, "fixture: wrong rule family") //~ ERROR panic-safety //~ ERROR unused-allow
+}
+
+// Malformed annotations: missing reason, unknown rule, empty reason.
+// autobal-lint: allow(panic-safety) //~ ERROR malformed-allow
+// autobal-lint: allow(no-such-rule, "reason") //~ ERROR malformed-allow
+// autobal-lint: allow(panic-safety, "") //~ ERROR malformed-allow
+pub fn tail() -> u64 {
+    0
+}

@@ -1,0 +1,28 @@
+//@ path: crates/chord/src/eventnet.rs
+// Clean fixture: deterministic containers, fallible access, exempt test
+// code. The harness asserts zero findings.
+use std::collections::BTreeMap;
+
+pub fn graceful(nodes: &BTreeMap<u64, u64>, ids: &[u64]) -> Option<u64> {
+    let first = ids.first().copied()?;
+    let Some(v) = nodes.get(&first) else {
+        return None;
+    };
+    Some(*v + ids.get(1).copied().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt_from_every_rule() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m[&1], 2);
+        let v = vec![1, 2];
+        assert_eq!(v[0], 1);
+        let x: Option<u64> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

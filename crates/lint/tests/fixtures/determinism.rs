@@ -1,0 +1,35 @@
+//@ path: crates/core/src/fixture.rs
+// Determinism-rule fixture: every marked line must be flagged, every
+// unmarked line must stay silent. Not compiled — consumed by the
+// fixtures harness as text.
+use std::collections::HashMap; //~ ERROR determinism
+use std::collections::HashSet; //~ ERROR determinism
+
+pub fn entropy_sources() -> u64 {
+    let mut rng = rand::thread_rng(); //~ ERROR determinism
+    let other = ChaCha8Rng::from_entropy(); //~ ERROR determinism
+    let _ = std::time::SystemTime::now(); //~ ERROR determinism
+    let t0 = std::time::Instant::now(); //~ ERROR determinism
+    rng.gen::<u64>() ^ other.gen::<u64>() ^ t0.elapsed().as_nanos() as u64
+}
+
+pub fn negatives() -> usize {
+    // A comment mentioning HashMap must not fire.
+    let my_thread_rng_count = 1; // identifier containing the word
+    let s = "HashMap inside a string literal";
+    let raw = r#"HashSet inside a raw string"#;
+    my_thread_rng_count + s.len() + raw.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: unordered containers are fine here.
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

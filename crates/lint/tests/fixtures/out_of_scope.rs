@@ -1,0 +1,9 @@
+//@ path: crates/viz/src/fixture.rs
+// Out-of-scope fixture: the viz crate carries none of the three rule
+// families, so nothing here may be flagged.
+use std::collections::HashMap;
+
+pub fn renderer(cells: &HashMap<u64, f64>, order: &[u64]) -> f64 {
+    let first = order[0];
+    cells.get(&first).copied().unwrap()
+}

@@ -1,0 +1,45 @@
+//@ path: crates/chord/src/network.rs
+// Panic-safety fixture for the message-delivery paths. The virtual
+// path places it under rule P (and D, so no unordered containers here).
+pub fn panicky(nodes: &std::collections::BTreeMap<u64, u64>, ids: &[u64], i: usize) -> u64 {
+    let a = nodes.get(&1).unwrap(); //~ ERROR panic-safety
+    let b = nodes.get(&2).expect("must exist"); //~ ERROR panic-safety
+    if ids.is_empty() {
+        panic!("no nodes"); //~ ERROR panic-safety
+    }
+    if i > ids.len() {
+        unreachable!(); //~ ERROR panic-safety
+    }
+    let c = ids[i]; //~ ERROR panic-safety
+    let d = nodes[&c]; //~ ERROR panic-safety
+    a + b + c + d
+}
+
+pub fn graceful(nodes: &std::collections::BTreeMap<u64, u64>, ids: &[u64]) -> u64 {
+    // None of these constructs are indexing or panicking calls.
+    let a = nodes.get(&1).copied().unwrap_or(0);
+    let b = nodes.get(&2).copied().unwrap_or_else(|| 7);
+    let v = vec![a, b];
+    let arr: [u64; 2] = [a, b];
+    let mut sum = 0;
+    for x in [1u64, 2, 3] {
+        sum += x;
+    }
+    sum + v.len() as u64 + arr.len() as u64 + ids.first().copied().unwrap_or(0)
+}
+
+#[derive(Debug, Clone)]
+pub struct Attributed {
+    pub field: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        let x: Option<u32> = Some(5);
+        assert_eq!(x.unwrap(), 5);
+    }
+}

@@ -3,13 +3,13 @@
 use autobal_id::{ring, sha1::sha1_id_of_u64, Id};
 use autobal_stats::rng::DetRng;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// `n` distinct node ids drawn uniformly at random (the fast generator
 /// the simulator uses by default — statistically identical to hashing
 /// random numbers with SHA-1).
 pub fn random_ids(n: usize, rng: &mut DetRng) -> Vec<Id> {
-    let mut seen = HashSet::with_capacity(n);
+    let mut seen = BTreeSet::new();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let id = Id::random(rng);
@@ -29,7 +29,7 @@ pub fn sha1_keys(n: usize, rng: &mut DetRng) -> Vec<Id> {
 
 /// `n` distinct SHA-1 node ids.
 pub fn sha1_ids(n: usize, rng: &mut DetRng) -> Vec<Id> {
-    let mut seen = HashSet::with_capacity(n);
+    let mut seen = BTreeSet::new();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let id = sha1_id_of_u64(rng.gen());
@@ -55,6 +55,7 @@ pub fn evenly_spaced_ids(n: usize) -> Vec<Id> {
 mod tests {
     use super::*;
     use autobal_stats::rng::seeded_rng;
+    use std::collections::HashSet;
 
     #[test]
     fn random_ids_are_distinct_and_reproducible() {

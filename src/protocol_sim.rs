@@ -31,7 +31,7 @@ use autobal_core::StrategyKind;
 use autobal_id::{ring, Id};
 use autobal_stats::rng::{domains, substream, DetRng};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration for a protocol-level run.
 #[derive(Debug, Clone)]
@@ -153,7 +153,7 @@ struct ChordSubstrate {
     /// Waiting pool for churn (worker indices).
     waiting: Vec<usize>,
     /// Which worker controls each live node id.
-    owner_of: HashMap<Id, usize>,
+    owner_of: BTreeMap<Id, usize>,
     params: StrategyParams,
     max_sybils: u32,
     active_count: usize,
@@ -605,7 +605,7 @@ fn run_inner(
             active: true,
         })
         .collect();
-    let owner_of: HashMap<Id, usize> = node_ids
+    let owner_of: BTreeMap<Id, usize> = node_ids
         .iter()
         .enumerate()
         .map(|(i, &id)| (id, i))
