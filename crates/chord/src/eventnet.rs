@@ -18,6 +18,7 @@
 use crate::fault::{FaultPlan, FaultState};
 use crate::messages::MessageStats;
 use autobal_id::{ring, Id, ID_BITS};
+use autobal_telemetry::{MessageStatus, Trace, TraceSink};
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -168,6 +169,21 @@ pub struct EventNet {
     faults: FaultState,
     /// High-water mark for already-applied scheduled crashes.
     crash_clock: u64,
+    /// Flight recorder (inert unless [`EventNet::enable_trace`]);
+    /// stamped with event time, never wall-clock.
+    trace: Trace,
+}
+
+/// Telemetry label for a wire message: lookups are traced end-to-end,
+/// maintenance traffic is grouped by purpose.
+fn wire_kind(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::FindSuccessor { .. } | Msg::FoundSuccessor { .. } | Msg::LookupTimeout { .. } => {
+            "lookup"
+        }
+        Msg::StabilizeTimer | Msg::GetPredecessor { .. } | Msg::PredecessorIs { .. } => "stabilize",
+        Msg::Notify { .. } => "notify",
+    }
 }
 
 impl EventNet {
@@ -187,6 +203,7 @@ impl EventNet {
             stats: MessageStats::new(),
             faults: FaultState::inert(),
             crash_clock: 0,
+            trace: Trace::default(),
         };
         while net.nodes.len() < n {
             let id = Id::random(rng);
@@ -239,6 +256,20 @@ impl EventNet {
     /// The currently armed plan.
     pub fn fault_plan(&self) -> &FaultPlan {
         self.faults.plan()
+    }
+
+    /// Arms the flight recorder: lookup completions, timeouts (with
+    /// their retry counts), and wire-level drops are recorded from now
+    /// on, stamped with event time.
+    pub fn enable_trace(&mut self, seed: u64) {
+        let mut trace = Trace::new(true);
+        trace.run_start(self.time, "eventnet", "none", seed);
+        self.trace = trace;
+    }
+
+    /// The recorded trace (empty unless [`EventNet::enable_trace`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Current simulation time.
@@ -392,6 +423,8 @@ impl EventNet {
         if self.faults.is_active() {
             if self.faults.partitioned(self.time, from, dst) || self.faults.lose_message() {
                 self.stats.dropped += 1;
+                self.trace
+                    .message(self.time, wire_kind(&msg), MessageStatus::Dropped, 0);
                 return;
             }
             at += self.faults.extra_delay();
@@ -411,6 +444,8 @@ impl EventNet {
         if !self.nodes.contains_key(&dst) {
             // Recipient died; the message evaporates.
             self.dropped += 1;
+            self.trace
+                .message(self.time, wire_kind(&msg), MessageStatus::Dropped, 0);
             return;
         }
         use crate::messages::MessageKind as MK;
@@ -498,6 +533,12 @@ impl EventNet {
             } => {
                 if let Some(p) = self.pending.remove(&req) {
                     debug_assert_eq!(p.key, key);
+                    self.trace.message(
+                        self.time,
+                        "lookup",
+                        MessageStatus::Delivered,
+                        u64::from(p.attempts.saturating_sub(1)),
+                    );
                     self.completed.push(AsyncLookup {
                         req,
                         key,
@@ -556,6 +597,12 @@ impl EventNet {
                 }
                 self.pending.remove(&req);
                 self.stats.timeouts += 1;
+                self.trace.message(
+                    self.time,
+                    "lookup",
+                    MessageStatus::TimedOut,
+                    u64::from(p.attempts.saturating_sub(1)),
+                );
                 self.completed.push(AsyncLookup {
                     req,
                     key: p.key,
@@ -710,6 +757,37 @@ mod tests {
             .into_iter()
             .filter(|l| reqs.contains(&l.req))
             .collect()
+    }
+
+    #[test]
+    fn trace_records_lookup_outcomes_in_event_time() {
+        use autobal_telemetry::summarize;
+        let mut net = EventNet::bootstrap(EventConfig::default(), 64, &mut rng(40));
+        assert!(net.trace().is_empty(), "tracing is strictly opt-in");
+        net.enable_trace(40);
+        net.set_fault_plan(FaultPlan::lossy(40, 0.15));
+        let origin = net.node_ids()[0];
+        let mut reqs = Vec::new();
+        for i in 0..20u64 {
+            reqs.push(net.lookup(origin, sha1_id_of_u64(i)).unwrap());
+        }
+        net.run_until(60_000);
+        let done = drain_app_lookups(&mut net, &reqs);
+        assert_eq!(done.len(), 20);
+        let s = summarize(net.trace().records());
+        assert_eq!(s.substrate, "eventnet");
+        // Every lookup (app + finger refresh) ends as exactly one
+        // Delivered or TimedOut record; loss shows up as drops/retries.
+        let resolved = s.messages.delivered + s.messages.timed_out;
+        assert!(resolved >= 20, "at least the app lookups resolved");
+        assert!(
+            s.messages.dropped > 0,
+            "15% loss must surface as Dropped records"
+        );
+        assert!(s.last_time <= net.now(), "virtual time only");
+        for r in net.trace().records() {
+            assert!(r.time <= net.now());
+        }
     }
 
     #[test]

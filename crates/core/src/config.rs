@@ -181,6 +181,12 @@ pub struct SimConfig {
     /// proportional to the number of actions).
     #[cfg_attr(feature = "serde", serde(default))]
     pub record_events: bool,
+    /// Record a span-structured flight-recorder trace into
+    /// `RunResult::trace` (off by default; see `autobal-telemetry`).
+    /// Stamped with ticks, never wall-clock, so same-seed traces are
+    /// byte-identical.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub record_trace: bool,
 }
 
 fn one() -> u32 {
@@ -211,6 +217,7 @@ impl Default for SimConfig {
             series_interval: None,
             virtual_nodes_per_worker: 1,
             record_events: false,
+            record_trace: false,
         }
     }
 }

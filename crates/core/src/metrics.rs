@@ -133,6 +133,10 @@ pub struct RunResult {
     /// Structured event log (when `record_events` was set).
     #[cfg_attr(feature = "serde", serde(default))]
     pub events: crate::trace::EventLog,
+    /// Span-structured flight-recorder trace (when `record_trace` was
+    /// set); empty and allocation-free otherwise.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub trace: autobal_telemetry::Trace,
 }
 
 impl RunResult {
@@ -194,6 +198,7 @@ mod tests {
             final_active_workers: 1,
             series: TickSeries::default(),
             events: crate::trace::EventLog::default(),
+            trace: autobal_telemetry::Trace::default(),
         };
         assert_eq!(r.mean_work_per_tick(), 10.0);
         assert!(r.snapshot_at(5).is_some());
@@ -214,6 +219,7 @@ mod tests {
             final_active_workers: 0,
             series: TickSeries::default(),
             events: crate::trace::EventLog::default(),
+            trace: autobal_telemetry::Trace::default(),
         };
         assert_eq!(r.mean_work_per_tick(), 0.0);
     }

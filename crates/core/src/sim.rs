@@ -12,6 +12,7 @@ use crate::trace::{EventLog, SimEvent};
 use crate::worker::{Worker, WorkerId, WorkerState};
 use autobal_id::{ring, Id};
 use autobal_stats::rng::{domains, substream, DetRng};
+use autobal_telemetry::{MessageStatus, Trace, TraceSink};
 use rand::Rng;
 
 /// One simulated network executing a distributed computation.
@@ -36,6 +37,10 @@ pub struct Sim {
     peak_vnodes: usize,
     series: TickSeries,
     pub(crate) events: EventLog,
+    /// Span-structured flight recorder (see `autobal-telemetry`);
+    /// disabled unless `SimConfig::record_trace` — every emission is a
+    /// single-branch no-op then.
+    pub(crate) trace: Trace,
     /// Strategy layers dispatched each tick/check (trait objects from
     /// [`crate::strategy::stack_for`]).
     strategies: StrategyStack,
@@ -130,6 +135,8 @@ impl Sim {
         let active_count = cfg.nodes;
         let peak = ring.len();
         let cfg_record_events = cfg.record_events;
+        let mut trace = Trace::new(cfg.record_trace);
+        trace.run_start(0, "oracle", cfg.strategy.label(), seed);
         let strategies = crate::strategy::stack_for(&cfg);
         Sim {
             cfg,
@@ -146,6 +153,7 @@ impl Sim {
             peak_vnodes: peak,
             series: TickSeries::default(),
             events: EventLog::new(cfg_record_events),
+            trace,
             strategies,
         }
     }
@@ -297,6 +305,7 @@ impl Sim {
         }
         let completed = self.ring.total_tasks() == 0;
         let ideal = self.cfg.ideal_ticks().max(1);
+        self.trace.run_end(self.tick, completed);
         RunResult {
             ticks: self.tick,
             ideal_ticks: ideal,
@@ -309,7 +318,20 @@ impl Sim {
             final_active_workers: self.active_count,
             series: self.series,
             events: self.events,
+            trace: self.trace,
         }
+    }
+
+    /// Records a load-balancing event into the event log and — when
+    /// tracing — as a telemetry `Decision` attached to the current
+    /// span. Every observable action funnels through here so the two
+    /// records can never drift apart.
+    pub(crate) fn emit_event(&mut self, event: SimEvent) {
+        if self.trace.enabled() {
+            let (name, worker, pos, value) = event.decision_fields();
+            self.trace.decision(self.tick, name, worker, &pos, value);
+        }
+        self.events.push(event);
     }
 
     // ---- churn ----------------------------------------------------
@@ -336,7 +358,7 @@ impl Sim {
         self.waiting.push(idx);
         self.msgs.churn_leaves += 1;
         let tick = self.tick;
-        self.events.push(SimEvent::WorkerLeft { tick, worker: idx });
+        self.emit_event(SimEvent::WorkerLeft { tick, worker: idx });
     }
 
     /// A waiting worker joins at a fresh random position, immediately
@@ -370,7 +392,7 @@ impl Sim {
         let tick = self.tick;
         let pos = self.workers[idx].primary;
         let acquired = self.workers[idx].load;
-        self.events.push(SimEvent::WorkerJoined {
+        self.emit_event(SimEvent::WorkerJoined {
             tick,
             worker: idx,
             pos,
@@ -419,7 +441,7 @@ impl Sim {
                 self.workers[owner].sybils.push(pos);
                 self.msgs.sybils_created += 1;
                 let tick = self.tick;
-                self.events.push(SimEvent::SybilCreated {
+                self.emit_event(SimEvent::SybilCreated {
                     tick,
                     worker: owner,
                     pos,
@@ -442,7 +464,7 @@ impl Sim {
         self.msgs.sybils_retired += n;
         if n > 0 {
             let tick = self.tick;
-            self.events.push(SimEvent::SybilsRetired {
+            self.emit_event(SimEvent::SybilsRetired {
                 tick,
                 worker: owner,
                 count: n as u32,
@@ -499,8 +521,14 @@ impl Substrate for Sim {
     }
 
     fn check_worker(&mut self, w: WorkerId, strategy: &dyn Strategy) {
+        // One telemetry span per strategy decision, stamped with the
+        // tick; the messages and outcomes the decision causes attach
+        // to it. Free (one branch, ROOT_SPAN back) when tracing is off.
+        let span = self.trace.open_span(self.tick, strategy.name(), w as u64);
         let mut ctx = self.node_ctx(w);
         strategy.check_node(&mut ctx);
+        let tick = self.tick;
+        self.trace.close_span(tick, span);
     }
 
     fn check_omniscient(&mut self, strategy: &dyn Strategy) -> bool {
@@ -643,7 +671,19 @@ impl Actions for SimNodeCtx<'_> {
     // pre-fault-plane code under every strategy.
     fn query_load(&mut self, neighbor: Id) -> Result<u64, ActionError> {
         self.sim.msgs.load_queries += 1;
-        Ok(self.sim.ring.load(neighbor))
+        let load = self.sim.ring.load(neighbor);
+        self.sim
+            .trace
+            .message(self.sim.tick, "load_query", MessageStatus::Delivered, 0);
+        let tick = self.sim.tick;
+        let worker = self.worker;
+        self.sim.emit_event(SimEvent::LoadQueried {
+            tick,
+            worker,
+            neighbor,
+            load,
+        });
+        Ok(load)
     }
 
     fn random_id(&mut self) -> Id {
@@ -664,6 +704,13 @@ impl Actions for SimNodeCtx<'_> {
         self.sim.split_position(victim)
     }
 
+    fn note_gap_split(&mut self, pos: Id) {
+        let tick = self.sim.tick;
+        let worker = self.worker;
+        self.sim
+            .emit_event(SimEvent::NeighborGapSplit { tick, worker, pos });
+    }
+
     fn invite(&mut self, hot: Id) -> InviteOutcome {
         let sim = &mut *self.sim;
         let inviter = self.worker;
@@ -673,7 +720,9 @@ impl Actions for SimNodeCtx<'_> {
         }
         sim.msgs.invitations_sent += 1;
         let tick = sim.tick;
-        sim.events.push(SimEvent::InvitationSent {
+        sim.trace
+            .message(tick, "invitation", MessageStatus::Delivered, 0);
+        sim.emit_event(SimEvent::InvitationSent {
             tick,
             worker: inviter,
         });
@@ -701,10 +750,18 @@ impl Actions for SimNodeCtx<'_> {
             Some(helper) => {
                 let pos = sim.split_position(hot).expect("ring non-trivial");
                 match sim.create_sybil(helper, pos) {
-                    Some(acquired) => InviteOutcome::Helped { acquired },
+                    Some(acquired) => {
+                        sim.emit_event(SimEvent::InvitationHonored {
+                            tick,
+                            worker: inviter,
+                            helper,
+                            acquired,
+                        });
+                        InviteOutcome::Helped { acquired }
+                    }
                     None => {
                         sim.msgs.invitations_refused += 1;
-                        sim.events.push(SimEvent::InvitationRefused {
+                        sim.emit_event(SimEvent::InvitationRefused {
                             tick,
                             worker: inviter,
                         });
@@ -714,7 +771,7 @@ impl Actions for SimNodeCtx<'_> {
             }
             None => {
                 sim.msgs.invitations_refused += 1;
-                sim.events.push(SimEvent::InvitationRefused {
+                sim.emit_event(SimEvent::InvitationRefused {
                     tick,
                     worker: inviter,
                 });
@@ -1061,5 +1118,165 @@ mod trace_tests {
             .filter(|e| matches!(e, SimEvent::InvitationSent { .. }))
             .count() as u64;
         assert_eq!(sent, res.messages.invitations_sent);
+    }
+
+    #[test]
+    fn load_queried_events_mirror_query_counter() {
+        let cfg = SimConfig {
+            nodes: 50,
+            tasks: 2_000,
+            strategy: StrategyKind::SmartNeighbor,
+            record_events: true,
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 5).run();
+        let queried = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::LoadQueried { .. }))
+            .count() as u64;
+        assert!(queried > 0, "smart neighbor must probe");
+        assert_eq!(queried, res.messages.load_queries);
+    }
+
+    #[test]
+    fn plain_neighbor_records_gap_splits() {
+        let cfg = SimConfig {
+            nodes: 50,
+            tasks: 2_000,
+            strategy: StrategyKind::NeighborInjection,
+            record_events: true,
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 6).run();
+        // Every plain-neighbor Sybil came from a gap estimate; splits
+        // can outnumber creations because an occupied midpoint skips
+        // the spawn after the split was noted.
+        let splits = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::NeighborGapSplit { .. }))
+            .count() as u64;
+        assert!(splits >= res.messages.sybils_created);
+        assert!(splits > 0);
+    }
+
+    #[test]
+    fn invitation_honored_events_carry_the_helper() {
+        let cfg = SimConfig {
+            nodes: 60,
+            tasks: 6_000,
+            strategy: StrategyKind::Invitation,
+            record_events: true,
+            ..SimConfig::default()
+        };
+        let res = Sim::new(cfg, 4).run();
+        let honored: Vec<_> = res
+            .events
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::InvitationHonored {
+                    worker,
+                    helper,
+                    acquired,
+                    ..
+                } => Some((*worker, *helper, *acquired)),
+                _ => None,
+            })
+            .collect();
+        assert!(!honored.is_empty(), "some invitation must be honored");
+        for (worker, helper, _) in &honored {
+            assert_ne!(worker, helper, "a worker cannot honor itself");
+        }
+        // sent = honored + refused (every sent invitation resolves).
+        assert_eq!(
+            res.messages.invitations_sent,
+            honored.len() as u64 + res.messages.invitations_refused
+        );
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::config::StrategyKind;
+    use autobal_telemetry::{summarize, to_jsonl, TraceBody};
+
+    fn cfg(strategy: StrategyKind) -> SimConfig {
+        SimConfig {
+            nodes: 40,
+            tasks: 1_500,
+            strategy,
+            record_trace: true,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_disabled_by_default_and_costs_nothing() {
+        let res = Sim::new(
+            SimConfig {
+                nodes: 40,
+                tasks: 1_500,
+                strategy: StrategyKind::RandomInjection,
+                ..SimConfig::default()
+            },
+            1,
+        )
+        .run();
+        assert!(res.trace.is_empty());
+        assert!(!res.trace.is_enabled());
+    }
+
+    #[test]
+    fn trace_is_framed_and_span_structured() {
+        let res = Sim::new(cfg(StrategyKind::SmartNeighbor), 2).run();
+        let records = res.trace.records();
+        assert!(matches!(records[0].body, TraceBody::RunStart { .. }));
+        assert!(matches!(
+            records[records.len() - 1].body,
+            TraceBody::RunEnd { .. }
+        ));
+        let s = summarize(records);
+        assert_eq!(s.substrate, "oracle");
+        assert_eq!(s.strategy, "smart");
+        assert!(s.spans > 0, "every check opens a span");
+        assert_eq!(s.messages.total(), res.messages.load_queries);
+        assert_eq!(s.messages.delivered, res.messages.load_queries);
+        // Virtual-time stamps are ticks: monotone, bounded by the run.
+        let times: Vec<u64> = records.iter().map(|r| r.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|&t| t <= res.ticks));
+    }
+
+    #[test]
+    fn same_seed_traces_are_byte_identical() {
+        let a = Sim::new(cfg(StrategyKind::Invitation), 3).run();
+        let b = Sim::new(cfg(StrategyKind::Invitation), 3).run();
+        assert_eq!(to_jsonl(a.trace.records()), to_jsonl(b.trace.records()));
+    }
+
+    #[test]
+    fn decisions_match_the_event_log_one_to_one() {
+        let mut c = cfg(StrategyKind::RandomInjection);
+        c.record_events = true;
+        let res = Sim::new(c, 4).run();
+        let decisions: Vec<_> = res
+            .trace
+            .records()
+            .iter()
+            .filter_map(|r| match &r.body {
+                TraceBody::Decision { name, worker, .. } => Some((name.clone(), *worker)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), res.events.len());
+        for (ev, (name, worker)) in res.events.events().iter().zip(&decisions) {
+            let (n, w, _, _) = ev.decision_fields();
+            assert_eq!((n, w), (name.as_str(), *worker));
+        }
     }
 }

@@ -136,6 +136,13 @@ pub trait Actions {
     /// [`invitation::pick_helper`] and performs the Sybil join. Costs
     /// one `Invitation` message unless no predecessor exists.
     fn invite(&mut self, hot: Id) -> InviteOutcome;
+    /// Tells the substrate the upcoming [`Actions::spawn_sybil`] at
+    /// `pos` came from the *gap estimate* (plain neighbor injection or
+    /// the smart variant's no-answer fallback) rather than a measured
+    /// probe. Pure observability — costs no messages, draws no RNG —
+    /// so the default is a no-op and substrates without telemetry
+    /// ignore it.
+    fn note_gap_split(&mut self, _pos: Id) {}
 }
 
 /// Result of an [`Actions::invite`] call.

@@ -57,10 +57,16 @@ impl Strategy for NeighborInjection {
                 Probe::Idle => return, // no successor has any work
                 // Every probe was lost to the network: degrade to the
                 // plain strategy's free estimate instead of stalling.
-                Probe::NoAnswer => widest_gap_target(ctx.primary(), &succs),
+                Probe::NoAnswer => {
+                    let pos = widest_gap_target(ctx.primary(), &succs);
+                    ctx.note_gap_split(pos);
+                    pos
+                }
             }
         } else {
-            widest_gap_target(ctx.primary(), &succs)
+            let pos = widest_gap_target(ctx.primary(), &succs);
+            ctx.note_gap_split(pos);
+            pos
         };
         // Occupied midpoint (or a gap of width 1) simply skips this
         // check; the node will try again next interval.

@@ -46,6 +46,30 @@ pub enum SimEvent {
     InvitationSent { tick: u64, worker: WorkerId },
     /// No predecessor could honor the invitation.
     InvitationRefused { tick: u64, worker: WorkerId },
+    /// Predecessor `helper` honored `worker`'s invitation, taking over
+    /// `acquired` tasks.
+    InvitationHonored {
+        tick: u64,
+        worker: WorkerId,
+        helper: WorkerId,
+        acquired: u64,
+    },
+    /// A worker probed `neighbor` and learned it holds `load` tasks
+    /// (smart-neighbor strategies).
+    LoadQueried {
+        tick: u64,
+        worker: WorkerId,
+        neighbor: Id,
+        load: u64,
+    },
+    /// A neighbor-injection strategy chose to split the widest
+    /// successor gap at `pos` (either directly or as the fallback
+    /// after an unanswered load probe).
+    NeighborGapSplit {
+        tick: u64,
+        worker: WorkerId,
+        pos: Id,
+    },
 }
 
 impl SimEvent {
@@ -58,7 +82,10 @@ impl SimEvent {
             | SimEvent::WorkerCrashed { tick, .. }
             | SimEvent::WorkerJoined { tick, .. }
             | SimEvent::InvitationSent { tick, .. }
-            | SimEvent::InvitationRefused { tick, .. } => *tick,
+            | SimEvent::InvitationRefused { tick, .. }
+            | SimEvent::InvitationHonored { tick, .. }
+            | SimEvent::LoadQueried { tick, .. }
+            | SimEvent::NeighborGapSplit { tick, .. } => *tick,
         }
     }
 
@@ -71,7 +98,69 @@ impl SimEvent {
             | SimEvent::WorkerCrashed { worker, .. }
             | SimEvent::WorkerJoined { worker, .. }
             | SimEvent::InvitationSent { worker, .. }
-            | SimEvent::InvitationRefused { worker, .. } => *worker,
+            | SimEvent::InvitationRefused { worker, .. }
+            | SimEvent::InvitationHonored { worker, .. }
+            | SimEvent::LoadQueried { worker, .. }
+            | SimEvent::NeighborGapSplit { worker, .. } => *worker,
+        }
+    }
+
+    /// Flattens the event into the telemetry decision tuple
+    /// `(name, worker, pos, value)` — stable lowercase names, hex ring
+    /// positions — so both substrates emit identical `Decision`
+    /// records for identical events.
+    pub fn decision_fields(&self) -> (&'static str, u64, String, u64) {
+        match self {
+            SimEvent::SybilCreated {
+                worker,
+                pos,
+                acquired,
+                ..
+            } => ("sybil_created", *worker as u64, pos.to_hex(), *acquired),
+            SimEvent::SybilsRetired { worker, count, .. } => (
+                "sybils_retired",
+                *worker as u64,
+                String::new(),
+                *count as u64,
+            ),
+            SimEvent::WorkerLeft { worker, .. } => {
+                ("worker_left", *worker as u64, String::new(), 0)
+            }
+            SimEvent::WorkerCrashed {
+                worker, keys_lost, ..
+            } => ("worker_crashed", *worker as u64, String::new(), *keys_lost),
+            SimEvent::WorkerJoined {
+                worker,
+                pos,
+                acquired,
+                ..
+            } => ("worker_joined", *worker as u64, pos.to_hex(), *acquired),
+            SimEvent::InvitationSent { worker, .. } => {
+                ("invitation_sent", *worker as u64, String::new(), 0)
+            }
+            SimEvent::InvitationRefused { worker, .. } => {
+                ("invitation_refused", *worker as u64, String::new(), 0)
+            }
+            SimEvent::InvitationHonored {
+                worker,
+                helper,
+                acquired,
+                ..
+            } => (
+                "invitation_honored",
+                *worker as u64,
+                format!("w{helper}"),
+                *acquired,
+            ),
+            SimEvent::LoadQueried {
+                worker,
+                neighbor,
+                load,
+                ..
+            } => ("load_queried", *worker as u64, neighbor.to_hex(), *load),
+            SimEvent::NeighborGapSplit { worker, pos, .. } => {
+                ("neighbor_gap_split", *worker as u64, pos.to_hex(), 0)
+            }
         }
     }
 }
@@ -163,6 +252,43 @@ mod tests {
         assert_eq!(log.events()[0].tick(), 1);
         assert_eq!(log.events()[1].tick(), 2);
         assert_eq!(log.events()[1].worker(), 1);
+    }
+
+    #[test]
+    fn coverage_variants_carry_tick_and_worker() {
+        let events = [
+            SimEvent::LoadQueried {
+                tick: 4,
+                worker: 2,
+                neighbor: Id::from(9u64),
+                load: 31,
+            },
+            SimEvent::InvitationHonored {
+                tick: 5,
+                worker: 2,
+                helper: 7,
+                acquired: 12,
+            },
+            SimEvent::NeighborGapSplit {
+                tick: 6,
+                worker: 2,
+                pos: Id::from(77u64),
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.tick(), 4 + i as u64);
+            assert_eq!(e.worker(), 2);
+        }
+        let (name, worker, pos, value) = events[0].decision_fields();
+        assert_eq!(name, "load_queried");
+        assert_eq!(worker, 2);
+        assert_eq!(pos, Id::from(9u64).to_hex());
+        assert_eq!(value, 31);
+        assert_eq!(
+            events[1].decision_fields(),
+            ("invitation_honored", 2, "w7".to_string(), 12)
+        );
+        assert_eq!(events[2].decision_fields().0, "neighbor_gap_split");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use autobal_core::{RunResult, SimConfig};
 use autobal_stats::Histogram;
+use autobal_telemetry::{to_jsonl, TraceRecord};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -16,6 +17,11 @@ pub struct Args {
     pub out: PathBuf,
     /// Master seed.
     pub seed: u64,
+    /// Base path for flight-recorder JSONL dumps (`--trace PATH`);
+    /// `None` leaves tracing disabled and zero-cost.
+    pub trace: Option<PathBuf>,
+    /// Record strategy event logs in single-run experiments.
+    pub events: bool,
 }
 
 impl Args {
@@ -25,6 +31,8 @@ impl Args {
             trials: 5,
             out: PathBuf::from("results"),
             seed: 0xA0B1_C2D3,
+            trace: None,
+            events: false,
         };
         let mut it = argv.iter();
         while let Some(a) = it.next() {
@@ -48,6 +56,10 @@ impl Args {
                 "--out" => {
                     args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
                 }
+                "--trace" => {
+                    args.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?));
+                }
+                "--events" => args.events = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag {other}"));
                 }
@@ -60,6 +72,43 @@ impl Args {
     /// Should this experiment id run?
     pub fn wants(&self, id: &str) -> bool {
         self.targets.is_empty() || self.targets.iter().any(|t| t == id || t == "all")
+    }
+
+    /// Applies the `--trace` / `--events` instrumentation flags to a
+    /// simulator config.
+    pub fn instrument(&self, cfg: &mut SimConfig) {
+        cfg.record_trace = cfg.record_trace || self.trace.is_some();
+        cfg.record_events = cfg.record_events || self.events;
+    }
+
+    /// Where a tagged trace dump lands: `--trace out/t.jsonl` with tag
+    /// `fig1` gives `out/t_fig1.jsonl`; an empty tag uses the base path.
+    pub fn trace_path(&self, tag: &str) -> Option<PathBuf> {
+        let base = self.trace.as_ref()?;
+        if tag.is_empty() {
+            return Some(base.clone());
+        }
+        let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        Some(base.with_file_name(format!("{stem}_{tag}.jsonl")))
+    }
+
+    /// Dumps a recorded trace as JSONL under the `--trace` base path;
+    /// no-op when tracing is off or nothing was recorded.
+    pub fn write_trace(&self, tag: &str, records: &[TraceRecord]) {
+        let Some(path) = self.trace_path(tag) else {
+            return;
+        };
+        if records.is_empty() {
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).expect("create trace dir");
+            }
+        }
+        fs::write(&path, to_jsonl(records))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("  wrote {}", path.display());
     }
 }
 
@@ -89,10 +138,15 @@ pub fn aligned_histograms(series: &[&[u64]]) -> Vec<Vec<(u64, u64, u64)>> {
 }
 
 /// Runs one simulation with snapshots, returning the result (helper for
-/// the figure experiments, which need one run rather than a batch).
-pub fn run_with_snapshots(mut cfg: SimConfig, seed: u64, ticks: &[u64]) -> RunResult {
+/// the figure experiments, which need one run rather than a batch). The
+/// run is instrumented per the `--trace` / `--events` flags; a recorded
+/// trace is dumped under `tag`.
+pub fn run_with_snapshots(args: &Args, tag: &str, mut cfg: SimConfig, ticks: &[u64]) -> RunResult {
     cfg.snapshot_ticks = ticks.to_vec();
-    autobal_core::Sim::new(cfg, seed).run()
+    args.instrument(&mut cfg);
+    let res = autobal_core::Sim::new(cfg, args.seed).run();
+    args.write_trace(tag, res.trace.records());
+    res
 }
 
 #[cfg(test)]
@@ -131,6 +185,36 @@ mod tests {
     fn parse_rejects_unknown_flags() {
         assert!(Args::parse(&s(&["--bogus"])).is_err());
         assert!(Args::parse(&s(&["--trials"])).is_err());
+        assert!(Args::parse(&s(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn parse_trace_and_events() {
+        let a = Args::parse(&[]).unwrap();
+        assert!(a.trace.is_none() && !a.events);
+        assert!(a.trace_path("x").is_none());
+
+        let a = Args::parse(&s(&["--trace", "out/t.jsonl", "--events"])).unwrap();
+        assert_eq!(a.trace, Some(PathBuf::from("out/t.jsonl")));
+        assert!(a.events);
+        assert_eq!(a.trace_path(""), Some(PathBuf::from("out/t.jsonl")));
+        assert_eq!(
+            a.trace_path("fig1"),
+            Some(PathBuf::from("out/t_fig1.jsonl"))
+        );
+    }
+
+    #[test]
+    fn instrument_arms_recording_from_flags() {
+        let a = Args::parse(&s(&["--trace", "t.jsonl", "--events"])).unwrap();
+        let mut cfg = SimConfig::default();
+        a.instrument(&mut cfg);
+        assert!(cfg.record_trace && cfg.record_events);
+
+        let off = Args::parse(&[]).unwrap();
+        let mut cfg = SimConfig::default();
+        off.instrument(&mut cfg);
+        assert!(!cfg.record_trace && !cfg.record_events);
     }
 
     #[test]

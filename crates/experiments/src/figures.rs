@@ -113,8 +113,8 @@ fn comparison_figure(
     ticks: &[u64],
 ) {
     let snap_ticks: Vec<u64> = ticks.to_vec();
-    let res_a = run_with_snapshots(cfg_a, args.seed, &snap_ticks);
-    let res_b = run_with_snapshots(cfg_b, args.seed, &snap_ticks);
+    let res_a = run_with_snapshots(args, &format!("{stem}_{label_a}"), cfg_a, &snap_ticks);
+    let res_b = run_with_snapshots(args, &format!("{stem}_{label_b}"), cfg_b, &snap_ticks);
     for &t in ticks {
         let (Some(sa), Some(sb)) = (res_a.snapshot_at(t), res_b.snapshot_at(t)) else {
             // A run can finish before a late snapshot tick; skip.
@@ -310,8 +310,10 @@ pub fn fig13_14(args: &Args) {
 /// Sanity helper shared by tests: the tick-35 idle count of a strategy
 /// run must undercut the baseline's.
 #[allow(dead_code)]
-pub fn idle_at_tick(cfg: SimConfig, seed: u64, tick: u64) -> usize {
-    run_with_snapshots(cfg, seed, &[tick])
+pub fn idle_at_tick(mut cfg: SimConfig, seed: u64, tick: u64) -> usize {
+    cfg.snapshot_ticks = vec![tick];
+    autobal_core::Sim::new(cfg, seed)
+        .run()
         .snapshot_at(tick)
         .map(|s| s.idle)
         .unwrap_or(0)

@@ -1,16 +1,22 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick | --full | --trials N] [--seed S] [--out DIR] [targets…]
+//! repro [--quick | --full | --trials N] [--seed S] [--out DIR]
+//!       [--trace PATH] [--events] [targets…]
 //!
 //! targets: table1 table2 fig1 fig2_3 fig4_6 fig7_9 fig10 fig11_12
 //!          fig13_14 text_ri text_ni text_inv messages extensions
 //!          worktick timeseries chord_hops chord_churn
-//!          maintenance_cost async_latency resilience     (default: all)
+//!          maintenance_cost async_latency resilience trace
+//!                                                        (default: all)
 //! ```
 //!
 //! `--quick` (default) uses 5 trials per cell; `--full` uses the paper's
-//! 100. Outputs land in `results/` as CSV + Markdown + SVG.
+//! 100. Outputs land in `results/` as CSV + Markdown + SVG. `--trace`
+//! arms the flight recorder in single-run experiments and dumps JSONL
+//! traces under the given base path; `--events` records structured
+//! event logs; the `trace` target produces the full telemetry artifact
+//! set (JSONL dumps, span breakdowns, divergence diff, histograms).
 
 mod chordx;
 mod common;
@@ -18,6 +24,7 @@ mod figures;
 mod resilience;
 mod tables;
 mod textual;
+mod tracex;
 
 use common::Args;
 
@@ -27,7 +34,10 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro [--quick|--full|--trials N] [--seed S] [--out DIR] [targets…]");
+            eprintln!(
+                "usage: repro [--quick|--full|--trials N] [--seed S] [--out DIR] \
+                 [--trace PATH] [--events] [targets…]"
+            );
             std::process::exit(2);
         }
     };
@@ -104,6 +114,9 @@ fn main() {
     }
     if args.wants("resilience") {
         resilience::resilience(&args);
+    }
+    if args.wants("trace") {
+        tracex::trace(&args);
     }
 
     eprintln!("done in {:?}", t0.elapsed());

@@ -174,6 +174,8 @@ mod tests {
             trials: 1,
             out: std::env::temp_dir().join("autobal-resilience-test"),
             seed: 7,
+            trace: None,
+            events: false,
         };
         let cell = run_cell(&args, StrategyKind::RandomInjection, 0.05, 0.0);
         assert_eq!(cell.completed, 1);

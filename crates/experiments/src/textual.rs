@@ -334,7 +334,7 @@ pub fn timeseries(args: &Args) {
     vnode_chart.y_label = "vnodes".into();
     let mut csv = String::from("strategy,tick,gini,vnodes,active,idle,remaining\n");
     for strat in strategies {
-        let cfg = SimConfig {
+        let mut cfg = SimConfig {
             strategy: strat,
             churn_rate: if strat == StrategyKind::Churn {
                 0.01
@@ -344,7 +344,12 @@ pub fn timeseries(args: &Args) {
             series_interval: Some(5),
             ..base(1000, 100_000, strat)
         };
+        args.instrument(&mut cfg);
         let res = Sim::new(cfg, args.seed).run();
+        args.write_trace(
+            &format!("timeseries_{}", strat.label()),
+            res.trace.records(),
+        );
         let s = &res.series;
         for i in 0..s.len() {
             csv.push_str(&format!(

@@ -1,6 +1,6 @@
 //! `autobal-lint` — the workspace invariant analyzer.
 //!
-//! The repo's three load-bearing contracts are enforced at runtime by
+//! The repo's load-bearing contracts are enforced at runtime by
 //! `tests/determinism.rs`, `tests/strategy_parity.rs`, and the chaos
 //! suite — but a runtime test only catches a violation when a seed
 //! happens to expose it. This crate machine-checks the contracts at the
@@ -26,6 +26,14 @@
 //!   (`oracle.rs` carries an explicit, audited exemption). This
 //!   mechanizes the paper's claim that every strategy is fully
 //!   decentralized.
+//! * **O — output discipline** (`output-discipline`): library code in
+//!   `autobal-core`, `autobal-chord`, `autobal-workload`,
+//!   `autobal-telemetry`, and the root crate may not write to
+//!   stdout/stderr directly (`println!` / `eprintln!` / `print!` /
+//!   `eprint!`). Observability flows through the telemetry plane and
+//!   returned artifacts; the two CLI mains (`autobal-cli`,
+//!   `autobal-trace`) are audited output endpoints and carry explicit
+//!   exemptions on their print helpers.
 //!
 //! Findings are suppressible only via an audited annotation — a plain
 //! line comment on the offending line or the line directly above it:
@@ -53,6 +61,8 @@ pub enum Rule {
     PanicSafety,
     /// S: strategies see only the LocalView/Actions/Substrate surface.
     StrategyLocality,
+    /// O: no direct stdout/stderr writes in library code.
+    OutputDiscipline,
     /// An `allow` annotation that suppressed no finding.
     UnusedAllow,
     /// An `autobal-lint:` marker that does not parse as
@@ -68,6 +78,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::PanicSafety => "panic-safety",
             Rule::StrategyLocality => "strategy-locality",
+            Rule::OutputDiscipline => "output-discipline",
             Rule::UnusedAllow => "unused-allow",
             Rule::MalformedAllow => "malformed-allow",
         }
@@ -79,6 +90,7 @@ impl Rule {
             "determinism" => Some(Rule::Determinism),
             "panic-safety" => Some(Rule::PanicSafety),
             "strategy-locality" => Some(Rule::StrategyLocality),
+            "output-discipline" => Some(Rule::OutputDiscipline),
             _ => None,
         }
     }
@@ -475,6 +487,17 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
     if rel.starts_with("crates/core/src/strategy/") && !rel.ends_with("/mod.rs") {
         rules.push(Rule::StrategyLocality);
     }
+    // Library crates never print; `autobal-experiments` and the lint
+    // binary itself are reporting tools, out of scope by design. The
+    // CLI mains live inside these trees and carry audited exemptions.
+    let in_output_scope = rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/chord/src/")
+        || rel.starts_with("crates/workload/src/")
+        || rel.starts_with("crates/telemetry/src/")
+        || rel.starts_with("src/");
+    if in_output_scope {
+        rules.push(Rule::OutputDiscipline);
+    }
     rules
 }
 
@@ -573,6 +596,27 @@ fn checks() -> Vec<Check> {
             message:
                 "OracleView is the omniscient surface; decentralized strategies must not see it",
         },
+        // ---- O: output discipline ------------------------------------
+        Check {
+            rule: Rule::OutputDiscipline,
+            matches: |l| has_word(l, "println"),
+            message: "println! in library code; record telemetry or return the text instead",
+        },
+        Check {
+            rule: Rule::OutputDiscipline,
+            matches: |l| has_word(l, "eprintln"),
+            message: "eprintln! in library code; record telemetry or return the text instead",
+        },
+        Check {
+            rule: Rule::OutputDiscipline,
+            matches: |l| has_word(l, "print"),
+            message: "print! in library code; record telemetry or return the text instead",
+        },
+        Check {
+            rule: Rule::OutputDiscipline,
+            matches: |l| has_word(l, "eprint"),
+            message: "eprint! in library code; record telemetry or return the text instead",
+        },
     ]
 }
 
@@ -663,6 +707,7 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/id/src",
     "crates/lint/src",
     "crates/stats/src",
+    "crates/telemetry/src",
     "crates/viz/src",
     "crates/workload/src",
 ];
@@ -746,17 +791,28 @@ mod tests {
     fn scope_selection() {
         assert_eq!(
             rules_for("crates/chord/src/network.rs"),
-            vec![Rule::Determinism, Rule::PanicSafety]
+            vec![Rule::Determinism, Rule::PanicSafety, Rule::OutputDiscipline]
         );
         assert_eq!(
             rules_for("crates/core/src/strategy/random.rs"),
-            vec![Rule::Determinism, Rule::StrategyLocality]
+            vec![
+                Rule::Determinism,
+                Rule::StrategyLocality,
+                Rule::OutputDiscipline
+            ]
         );
         assert_eq!(
             rules_for("crates/core/src/strategy/mod.rs"),
-            vec![Rule::Determinism]
+            vec![Rule::Determinism, Rule::OutputDiscipline]
         );
         assert_eq!(rules_for("crates/viz/src/svg.rs"), Vec::<Rule>::new());
-        assert_eq!(rules_for("src/protocol_sim.rs"), vec![Rule::Determinism]);
+        assert_eq!(
+            rules_for("crates/telemetry/src/sink.rs"),
+            vec![Rule::OutputDiscipline]
+        );
+        assert_eq!(
+            rules_for("src/protocol_sim.rs"),
+            vec![Rule::Determinism, Rule::OutputDiscipline]
+        );
     }
 }

@@ -27,7 +27,10 @@ fn main() -> ExitCode {
     let root = match std::env::args().nth(1) {
         Some(arg) if arg == "--help" || arg == "-h" => {
             eprintln!("usage: autobal-lint [WORKSPACE_ROOT]");
-            eprintln!("Checks determinism, panic-safety, and strategy-locality invariants.");
+            eprintln!(
+                "Checks determinism, panic-safety, strategy-locality, and \
+                 output-discipline invariants."
+            );
             return ExitCode::SUCCESS;
         }
         Some(arg) => PathBuf::from(arg),
@@ -55,7 +58,7 @@ fn main() -> ExitCode {
         println!("{f}");
     }
     if findings.is_empty() {
-        eprintln!("autobal-lint: clean ({} rule families enforced)", 3);
+        eprintln!("autobal-lint: clean ({} rule families enforced)", 4);
         ExitCode::SUCCESS
     } else {
         eprintln!("autobal-lint: {} finding(s)", findings.len());

@@ -110,6 +110,7 @@ fn corpus_covers_every_rule() {
         Rule::Determinism,
         Rule::PanicSafety,
         Rule::StrategyLocality,
+        Rule::OutputDiscipline,
         Rule::UnusedAllow,
         Rule::MalformedAllow,
     ] {

@@ -1,0 +1,23 @@
+//@ path: crates/core/src/fake.rs
+// Output-discipline fixture: library code writing to the console in
+// every forbidden way; writes into buffers stay silent.
+
+pub fn chatty(load: u64) {
+    println!("load is {load}"); //~ ERROR output-discipline
+    eprintln!("warning: {load}"); //~ ERROR output-discipline
+    print!("{load} "); //~ ERROR output-discipline
+    eprint!("{load} "); //~ ERROR output-discipline
+}
+
+// An audited endpoint carries an explicit exemption.
+pub fn audited(line: &str) {
+    // autobal-lint: allow(output-discipline, "fixture: audited output endpoint")
+    println!("{line}");
+}
+
+// An exemption with nothing to suppress is itself reported.
+// autobal-lint: allow(output-discipline, "fixture: nothing to suppress") //~ ERROR unused-allow
+pub fn quiet(out: &mut String, load: u64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "{load}");
+}

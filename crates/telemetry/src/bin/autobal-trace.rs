@@ -1,0 +1,95 @@
+//! `autobal-trace` — inspect, validate, and diff flight-recorder
+//! traces.
+//!
+//! ```text
+//! autobal-trace summary FILE      print aggregate stats for a trace
+//! autobal-trace validate FILE     schema-check a JSONL trace
+//! autobal-trace diff A B          first causal divergence of two
+//!                                 same-seed traces (exit 1 if any)
+//! ```
+//!
+//! This binary is one of the two audited output endpoints of the
+//! workspace (the other is `autobal-cli`): all user-facing text
+//! funnels through the two helpers below, each carrying one audited
+//! output-discipline exemption.
+
+use autobal_telemetry::{
+    check_framing, diff_traces, parse_jsonl, render_divergence, render_summary, summarize,
+    validate_jsonl, Divergence, TraceRecord,
+};
+
+/// The blessed stdout endpoint for this CLI.
+fn outln(line: &str) {
+    // autobal-lint: allow(output-discipline, "autobal-trace is an audited CLI output endpoint")
+    println!("{line}");
+}
+
+/// The blessed stderr endpoint for this CLI.
+fn errln(line: &str) {
+    // autobal-lint: allow(output-discipline, "autobal-trace is an audited CLI output endpoint")
+    eprintln!("{line}");
+}
+
+fn usage() -> ! {
+    errln("usage: autobal-trace <summary FILE | validate FILE | diff A B>");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Vec<TraceRecord> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            errln(&format!("autobal-trace: cannot read {path}: {e}"));
+            std::process::exit(2);
+        }
+    };
+    match parse_jsonl(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            errln(&format!("autobal-trace: {path}: {e}"));
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().map(String::as_str);
+    match (cmd, argv.len()) {
+        (Some("summary"), 2) => {
+            let records = load(&argv[1]);
+            outln(render_summary(&summarize(&records)).trim_end());
+        }
+        (Some("validate"), 2) => {
+            let path = &argv[1];
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    errln(&format!("autobal-trace: cannot read {path}: {e}"));
+                    std::process::exit(2);
+                }
+            };
+            match validate_jsonl(&text).and_then(|n| {
+                let records = parse_jsonl(&text)?;
+                check_framing(&records)?;
+                Ok(n)
+            }) {
+                Ok(n) => outln(&format!("{path}: valid trace, {n} records")),
+                Err(e) => {
+                    errln(&format!("{path}: INVALID: {e}"));
+                    std::process::exit(1);
+                }
+            }
+        }
+        (Some("diff"), 3) => {
+            let a = load(&argv[1]);
+            let b = load(&argv[2]);
+            let d = diff_traces(&a, &b);
+            outln(render_divergence(&d).trim_end());
+            if matches!(d, Divergence::Diverged(_)) {
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

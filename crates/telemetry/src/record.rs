@@ -1,0 +1,161 @@
+//! The on-disk record model.
+//!
+//! One trace is a flat sequence of [`TraceRecord`]s; nesting is
+//! expressed by the `span` field, not by structure, so the JSONL form
+//! is append-only and line-oriented. Field order in these declarations
+//! IS the wire order: the vendored `serde_json` emits compact objects
+//! in declaration order, which is what makes same-seed traces
+//! byte-identical.
+//!
+//! The model deliberately contains no floating-point fields. Derived
+//! float series (Gini, CoV) are artifacts computed *from* a run, not
+//! part of the causal record, which keeps byte-stability trivial.
+
+/// Identifies one span within a single trace.
+pub type SpanId = u64;
+
+/// The implicit root span: records emitted outside any strategy
+/// decision (substrate-level drops, background maintenance) attach
+/// here.
+pub const ROOT_SPAN: SpanId = 0;
+
+/// One line of a trace.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceRecord {
+    /// Position in the trace (0-based, dense, strictly increasing).
+    pub seq: u64,
+    /// Virtual time: the oracle tick or the event-net clock. Never
+    /// wall-clock.
+    pub time: u64,
+    /// The span this record belongs to. For `SpanOpen`/`SpanClose`
+    /// this is the span being opened/closed itself.
+    pub span: SpanId,
+    pub body: TraceBody,
+}
+
+/// What happened. Externally tagged on the wire:
+/// `{"SpanOpen":{"kind":"smart","worker":3}}`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TraceBody {
+    /// Trace header: which substrate and strategy produced it, under
+    /// which seed. Always the first record.
+    RunStart {
+        substrate: String,
+        strategy: String,
+        seed: u64,
+    },
+    /// A strategy decision begins: `worker` is being checked by the
+    /// strategy layer named `kind`.
+    SpanOpen { kind: String, worker: u64 },
+    /// A load-balancing decision or outcome. `pos` is a hex ring
+    /// position (or an auxiliary label) and `value` the moved/observed
+    /// quantity; both are `0`-ish when the decision carries none.
+    Decision {
+        name: String,
+        worker: u64,
+        pos: String,
+        value: u64,
+    },
+    /// A protocol message caused by the enclosing span (or by the
+    /// substrate itself, on the root span).
+    Message {
+        kind: String,
+        status: MessageStatus,
+        retries: u64,
+    },
+    /// The enclosing decision ends; `records` counts what it emitted.
+    SpanClose { records: u64 },
+    /// Trace footer: `completed` is false when the run hit its tick
+    /// cap. Always the last record.
+    RunEnd { completed: bool },
+}
+
+/// Terminal fate of one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MessageStatus {
+    /// Reached its recipient (possibly after retries).
+    Delivered,
+    /// Eaten by the fault plane or addressed to a dead node.
+    Dropped,
+    /// Exhausted its retry budget waiting for an answer.
+    TimedOut,
+    /// The sender could not resolve a live recipient at all.
+    Unreachable,
+}
+
+impl MessageStatus {
+    /// Stable lowercase label for text reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MessageStatus::Delivered => "delivered",
+            MessageStatus::Dropped => "dropped",
+            MessageStatus::TimedOut => "timed-out",
+            MessageStatus::Unreachable => "unreachable",
+        }
+    }
+}
+
+impl TraceBody {
+    /// Stable lowercase tag for text reports and CSV columns.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceBody::RunStart { .. } => "run-start",
+            TraceBody::SpanOpen { .. } => "span-open",
+            TraceBody::Decision { .. } => "decision",
+            TraceBody::Message { .. } => "message",
+            TraceBody::SpanClose { .. } => "span-close",
+            TraceBody::RunEnd { .. } => "run-end",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_form_is_externally_tagged_and_field_ordered() {
+        let rec = TraceRecord {
+            seq: 2,
+            time: 40,
+            span: 1,
+            body: TraceBody::Message {
+                kind: "load_query".to_string(),
+                status: MessageStatus::TimedOut,
+                retries: 2,
+            },
+        };
+        let json = serde_json::to_string(&rec).expect("serializes");
+        assert_eq!(
+            json,
+            "{\"seq\":2,\"time\":40,\"span\":1,\"body\":{\"Message\":\
+             {\"kind\":\"load_query\",\"status\":\"TimedOut\",\"retries\":2}}}"
+        );
+        let back: TraceRecord = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn unit_variants_round_trip_as_strings() {
+        for status in [
+            MessageStatus::Delivered,
+            MessageStatus::Dropped,
+            MessageStatus::TimedOut,
+            MessageStatus::Unreachable,
+        ] {
+            let json = serde_json::to_string(&status).expect("serializes");
+            let back: MessageStatus = serde_json::from_str(&json).expect("round-trips");
+            assert_eq!(back, status);
+        }
+    }
+
+    #[test]
+    fn tags_and_labels_are_stable() {
+        let open = TraceBody::SpanOpen {
+            kind: "smart".to_string(),
+            worker: 0,
+        };
+        assert_eq!(open.tag(), "span-open");
+        assert_eq!(MessageStatus::Unreachable.label(), "unreachable");
+    }
+}

@@ -30,6 +30,7 @@ use autobal_core::trace::{EventLog, SimEvent};
 use autobal_core::StrategyKind;
 use autobal_id::{ring, Id};
 use autobal_stats::rng::{domains, substream, DetRng};
+use autobal_telemetry::{MessageStatus, Trace, TraceSink};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -61,6 +62,9 @@ pub struct ProtocolSimConfig {
     pub max_ticks: u64,
     /// Record a [`SimEvent`] trace of strategy decisions.
     pub record_events: bool,
+    /// Record a span-structured flight-recorder trace (see
+    /// `autobal-telemetry`). Stamped with ticks, never wall-clock.
+    pub record_trace: bool,
     /// Fault plan armed on the network after the initial stabilization
     /// (the paper's "network starts stable" assumption is preserved;
     /// adversity begins at tick 1). Inert by default.
@@ -95,6 +99,7 @@ impl Default for ProtocolSimConfig {
             },
             max_ticks: 100_000,
             record_events: false,
+            record_trace: false,
             fault: FaultPlan::default(),
             crash_rate: 0.0,
             crash_retirement: false,
@@ -127,6 +132,9 @@ pub struct ProtocolRun {
     /// Strategy decision trace (empty unless
     /// [`ProtocolSimConfig::record_events`]).
     pub events: EventLog,
+    /// Flight-recorder trace (empty unless
+    /// [`ProtocolSimConfig::record_trace`]).
+    pub trace: Trace,
 }
 
 /// One physical worker: its primary Chord node plus live Sybil nodes.
@@ -169,9 +177,23 @@ struct ChordSubstrate {
     workers_crashed: u64,
     crash_retirement: bool,
     events: EventLog,
+    /// Span-structured flight recorder; free when disabled.
+    trace: Trace,
 }
 
 impl ChordSubstrate {
+    /// Records a load-balancing event into the event log and — when
+    /// tracing — as a telemetry `Decision` on the current span, using
+    /// the same `decision_fields` encoding as the oracle substrate so
+    /// same-seed traces are comparable across substrates.
+    fn emit_event(&mut self, event: SimEvent) {
+        if self.trace.enabled() {
+            let (name, worker, pos, value) = event.decision_fields();
+            self.trace.decision(self.tick, name, worker, &pos, value);
+        }
+        self.events.push(event);
+    }
+
     fn worker_load(&self, w: usize) -> u64 {
         self.workers[w]
             .vnodes()
@@ -192,7 +214,20 @@ impl ChordSubstrate {
     /// contact surface as errors.
     fn spawn_sybil_as(&mut self, w: usize, pos: Id) -> Result<u64, ActionError> {
         let contact = self.workers[w].primary;
-        match self.net.join_with_retry(pos, contact) {
+        let retries_before = self.net.stats.retries;
+        let joined = self.net.join_with_retry(pos, contact);
+        if self.trace.enabled() {
+            // An occupied position still means the join reached the
+            // ring — only the fault plane produces non-delivery here.
+            let status = match &joined {
+                Ok(()) | Err(NetworkError::DuplicateId(_)) => MessageStatus::Delivered,
+                Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
+                Err(_) => MessageStatus::Unreachable,
+            };
+            let retries = self.net.stats.retries - retries_before;
+            self.trace.message(self.tick, "join", status, retries);
+        }
+        match joined {
             Ok(()) => {}
             Err(NetworkError::DuplicateId(_)) => return Err(ActionError::Occupied),
             Err(NetworkError::TimedOut { .. }) => return Err(ActionError::TimedOut),
@@ -203,7 +238,7 @@ impl ChordSubstrate {
         self.owner_of.insert(pos, w);
         self.sybils_created += 1;
         let tick = self.tick;
-        self.events.push(SimEvent::SybilCreated {
+        self.emit_event(SimEvent::SybilCreated {
             tick,
             worker: w,
             pos,
@@ -231,7 +266,7 @@ impl ChordSubstrate {
         self.sybils_retired += n;
         if n > 0 {
             let tick = self.tick;
-            self.events.push(SimEvent::SybilsRetired {
+            self.emit_event(SimEvent::SybilsRetired {
                 tick,
                 worker: w,
                 count: n as u32,
@@ -256,7 +291,7 @@ impl ChordSubstrate {
         self.workers_crashed += 1;
         self.tasks_lost += lost;
         let tick = self.tick;
-        self.events.push(SimEvent::WorkerCrashed {
+        self.emit_event(SimEvent::WorkerCrashed {
             tick,
             worker: w,
             keys_lost: lost,
@@ -286,11 +321,14 @@ impl Substrate for ChordSubstrate {
     }
 
     fn check_worker(&mut self, w: usize, strategy: &dyn Strategy) {
+        let span = self.trace.open_span(self.tick, strategy.name(), w as u64);
         let mut ctx = ChordNodeCtx {
             sub: self,
             worker: w,
         };
         strategy.check_node(&mut ctx);
+        let tick = self.tick;
+        self.trace.close_span(tick, span);
     }
 
     fn check_omniscient(&mut self, _strategy: &dyn Strategy) -> bool {
@@ -330,7 +368,7 @@ impl ChurnOps for ChordSubstrate {
         self.active_count -= 1;
         self.waiting.push(w);
         let tick = self.tick;
-        self.events.push(SimEvent::WorkerLeft { tick, worker: w });
+        self.emit_event(SimEvent::WorkerLeft { tick, worker: w });
     }
 
     fn take_waiting(&mut self) -> Vec<usize> {
@@ -355,7 +393,18 @@ impl ChurnOps for ChordSubstrate {
         // Churn joins ride the same retry machinery as Sybil joins; a
         // worker whose join still times out stays in the waiting pool
         // and tries again next tick.
-        if self.net.join_with_retry(pos, contact).is_err() {
+        let retries_before = self.net.stats.retries;
+        let joined = self.net.join_with_retry(pos, contact);
+        if self.trace.enabled() {
+            let status = match &joined {
+                Ok(()) => MessageStatus::Delivered,
+                Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
+                Err(_) => MessageStatus::Unreachable,
+            };
+            let retries = self.net.stats.retries - retries_before;
+            self.trace.message(self.tick, "join", status, retries);
+        }
+        if joined.is_err() {
             self.waiting.push(w);
             return;
         }
@@ -368,7 +417,7 @@ impl ChurnOps for ChordSubstrate {
         self.active_count += 1;
         let acquired = self.net.node(pos).map(|n| n.keys.len() as u64).unwrap_or(0);
         let tick = self.tick;
-        self.events.push(SimEvent::WorkerJoined {
+        self.emit_event(SimEvent::WorkerJoined {
             tick,
             worker: w,
             pos,
@@ -444,15 +493,36 @@ impl LocalView for ChordNodeCtx<'_> {
 
 impl Actions for ChordNodeCtx<'_> {
     fn query_load(&mut self, neighbor: Id) -> Result<u64, ActionError> {
+        let tick = self.sub.tick;
         // The probe is billed whether or not it survives the network.
         if !self.sub.net.try_message(MessageKind::LoadQuery) {
+            self.sub
+                .trace
+                .message(tick, "load_query", MessageStatus::TimedOut, 0);
             return Err(ActionError::TimedOut);
         }
-        match self.sub.net.node(neighbor) {
-            Some(n) => Ok(n.keys.len() as u64),
+        match self.sub.net.node(neighbor).map(|n| n.keys.len() as u64) {
+            Some(load) => {
+                self.sub
+                    .trace
+                    .message(tick, "load_query", MessageStatus::Delivered, 0);
+                let worker = self.worker;
+                self.sub.emit_event(SimEvent::LoadQueried {
+                    tick,
+                    worker,
+                    neighbor,
+                    load,
+                });
+                Ok(load)
+            }
             // Stale successor-list entry pointing at a dead node: no
             // reply will ever come.
-            None => Err(ActionError::Unreachable),
+            None => {
+                self.sub
+                    .trace
+                    .message(tick, "load_query", MessageStatus::Unreachable, 0);
+                Err(ActionError::Unreachable)
+            }
         }
     }
 
@@ -466,6 +536,13 @@ impl Actions for ChordNodeCtx<'_> {
 
     fn retire_sybils(&mut self) {
         self.sub.retire_sybils_of(self.worker);
+    }
+
+    fn note_gap_split(&mut self, pos: Id) {
+        let tick = self.sub.tick;
+        let worker = self.worker;
+        self.sub
+            .emit_event(SimEvent::NeighborGapSplit { tick, worker, pos });
     }
 
     fn split_target(&mut self, victim: Id) -> Option<Id> {
@@ -501,9 +578,15 @@ impl Actions for ChordNodeCtx<'_> {
         // it; a lost invitation is simply re-sent on the next check
         // because the node is still overburdened then.
         if !self.sub.net.try_message(MessageKind::Invitation) {
+            self.sub
+                .trace
+                .message(tick, "invitation", MessageStatus::Dropped, 0);
             return InviteOutcome::Unreachable;
         }
-        self.sub.events.push(SimEvent::InvitationSent {
+        self.sub
+            .trace
+            .message(tick, "invitation", MessageStatus::Delivered, 0);
+        self.sub.emit_event(SimEvent::InvitationSent {
             tick,
             worker: inviter,
         });
@@ -520,11 +603,24 @@ impl Actions for ChordNodeCtx<'_> {
         let helper = pick_helper(&candidates, self.sub.params.strength_aware_invitation);
         let outcome = helper
             .and_then(|h| self.split_target(hot).map(|pos| (h, pos)))
-            .and_then(|(h, pos)| self.sub.spawn_sybil_as(h, pos).ok());
+            .and_then(|(h, pos)| {
+                self.sub
+                    .spawn_sybil_as(h, pos)
+                    .ok()
+                    .map(|acquired| (h, acquired))
+            });
         match outcome {
-            Some(acquired) => InviteOutcome::Helped { acquired },
+            Some((helper, acquired)) => {
+                self.sub.emit_event(SimEvent::InvitationHonored {
+                    tick,
+                    worker: inviter,
+                    helper,
+                    acquired,
+                });
+                InviteOutcome::Helped { acquired }
+            }
             None => {
-                self.sub.events.push(SimEvent::InvitationRefused {
+                self.sub.emit_event(SimEvent::InvitationRefused {
                     tick,
                     worker: inviter,
                 });
@@ -660,6 +756,11 @@ fn run_inner(
         workers_crashed: 0,
         crash_retirement: cfg.crash_retirement,
         events: EventLog::new(cfg.record_events),
+        trace: {
+            let mut trace = Trace::new(cfg.record_trace);
+            trace.run_start(0, "chord", cfg.strategy.label(), seed);
+            trace
+        },
     };
 
     let mut next_crash = 0usize;
@@ -703,17 +804,21 @@ fn run_inner(
         sub.net.maintenance_cycle();
     }
 
+    let completed = sub.net.total_keys() == 0;
+    sub.trace.run_end(sub.tick, completed);
+
     ProtocolRun {
         ticks: sub.tick,
         ideal_ticks: ideal.max(1),
         runtime_factor: sub.tick as f64 / ideal.max(1) as f64,
-        completed: sub.net.total_keys() == 0,
+        completed,
         messages: sub.net.stats.clone(),
         sybils_created: sub.sybils_created,
         sybils_retired: sub.sybils_retired,
         tasks_lost: sub.tasks_lost,
         workers_crashed: sub.workers_crashed,
         events: sub.events,
+        trace: sub.trace,
     }
 }
 
@@ -990,5 +1095,125 @@ mod tests {
         assert_eq!(a.sybils_created, b.sybils_created);
         assert_eq!(a.messages.dropped, 0);
         assert_eq!(a.messages.retries, 0);
+    }
+
+    #[test]
+    fn load_queried_events_mirror_the_protocol_query_counter() {
+        // Satellite: every billed load query that got an answer shows up
+        // as a LoadQueried event — on a faultless network, all of them.
+        let res = run_protocol_sim(
+            &ProtocolSimConfig {
+                record_events: true,
+                ..small(StrategyKind::SmartNeighbor)
+            },
+            14,
+        );
+        let queried = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::LoadQueried { .. }))
+            .count() as u64;
+        assert!(queried > 0);
+        assert_eq!(queried, res.messages.load_query);
+    }
+
+    #[test]
+    fn plain_neighbor_records_gap_splits_on_the_protocol() {
+        let res = run_protocol_sim(
+            &ProtocolSimConfig {
+                record_events: true,
+                ..small(StrategyKind::NeighborInjection)
+            },
+            15,
+        );
+        let splits = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::NeighborGapSplit { .. }))
+            .count() as u64;
+        // Every plain-neighbor spawn attempt is preceded by a gap-split
+        // estimate; occupied midpoints mean attempts can exceed joins.
+        assert!(splits > 0);
+        assert!(splits >= res.sybils_created);
+    }
+
+    #[test]
+    fn invitation_honored_events_carry_the_helper_on_the_protocol() {
+        let res = run_protocol_sim(
+            &ProtocolSimConfig {
+                overload_factor: 1.0,
+                record_events: true,
+                ..small(StrategyKind::Invitation)
+            },
+            16,
+        );
+        let mut honored = 0u64;
+        for e in res.events.events() {
+            if let SimEvent::InvitationHonored { worker, helper, .. } = e {
+                honored += 1;
+                assert_ne!(worker, helper, "a node cannot honor its own call");
+            }
+        }
+        assert!(honored > 0, "some invitation was honored");
+        let sent = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::InvitationSent { .. }))
+            .count() as u64;
+        let refused = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::InvitationRefused { .. }))
+            .count() as u64;
+        assert_eq!(sent, honored + refused);
+    }
+
+    #[test]
+    fn protocol_trace_is_framed_and_spans_the_strategy() {
+        use autobal_telemetry::{summarize, TraceBody};
+        let res = run_protocol_sim(
+            &ProtocolSimConfig {
+                record_trace: true,
+                ..small(StrategyKind::SmartNeighbor)
+            },
+            17,
+        );
+        let records = res.trace.records();
+        assert!(matches!(records[0].body, TraceBody::RunStart { .. }));
+        assert!(matches!(
+            records[records.len() - 1].body,
+            TraceBody::RunEnd { .. }
+        ));
+        let s = summarize(records);
+        assert_eq!(s.substrate, "chord");
+        assert_eq!(s.strategy, "smart");
+        assert!(s.completed);
+        assert!(s.spans > 0, "strategy checks opened spans");
+        assert!(s.decisions > 0);
+        // load_query + invitation probes are traced individually; join
+        // messages too — at least every load query must appear.
+        assert!(s.messages.delivered >= res.messages.load_query);
+        assert!(s.last_time <= res.ticks);
+    }
+
+    #[test]
+    fn protocol_trace_is_disabled_by_default_and_byte_stable() {
+        use autobal_telemetry::to_jsonl;
+        let off = run_protocol_sim(&small(StrategyKind::SmartNeighbor), 18);
+        assert!(off.trace.is_empty(), "tracing must be strictly opt-in");
+        let cfg = ProtocolSimConfig {
+            record_trace: true,
+            ..small(StrategyKind::SmartNeighbor)
+        };
+        let a = run_protocol_sim(&cfg, 18);
+        let b = run_protocol_sim(&cfg, 18);
+        assert_eq!(to_jsonl(a.trace.records()), to_jsonl(b.trace.records()));
+        // Tracing must not perturb the run itself.
+        assert_eq!(a.ticks, off.ticks);
+        assert_eq!(a.messages, off.messages);
     }
 }

@@ -1,0 +1,216 @@
+//! The unified telemetry plane, tested end to end across substrates:
+//! same-seed traces are byte-identical, trace bytes do not depend on
+//! how many threads the harness runs (`--test-threads=1` vs default),
+//! the committed golden fixture pins the wire schema, and the
+//! `autobal-trace`-style diff reports the first causal divergence
+//! between the oracle and Chord substrates with worker and tick.
+
+use autobal::protocol_sim::{run_protocol_sim_with_placement, ProtocolSimConfig};
+use autobal::sim::{Sim, SimConfig, StrategyKind};
+use autobal::stats::rng::{domains, substream, DetRng};
+use autobal::Id;
+use autobal_telemetry::{
+    check_framing, diff_traces, parse_jsonl, render_divergence, to_jsonl, validate_jsonl,
+    Divergence, TraceBody,
+};
+use rayon::prelude::*;
+use std::path::PathBuf;
+
+const NODES: usize = 16;
+const TASKS: u64 = 800;
+const SEED: u64 = 41;
+
+/// The `tests/differential.rs` starting conditions: half the ring
+/// starts empty, so the first check tick produces decisions on
+/// bit-identical local views.
+fn placement() -> (Vec<Id>, Vec<Id>) {
+    let mut rng: DetRng = substream(0xD1FF, 0, domains::PLACEMENT);
+    let mut ids: Vec<Id> = Vec::new();
+    while ids.len() < NODES {
+        let id = Id::random(&mut rng);
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    let mut sorted = ids.clone();
+    sorted.sort();
+    let loaded: Vec<Id> = sorted.iter().copied().step_by(2).collect();
+    let owner = |key: Id| -> Id {
+        sorted
+            .iter()
+            .copied()
+            .find(|&n| key <= n)
+            .unwrap_or(sorted[0])
+    };
+    let mut keys = Vec::new();
+    while (keys.len() as u64) < TASKS {
+        let k = Id::random(&mut rng);
+        if loaded.contains(&owner(k)) {
+            keys.push(k);
+        }
+    }
+    (ids, keys)
+}
+
+fn oracle_cfg() -> SimConfig {
+    SimConfig {
+        nodes: NODES,
+        tasks: TASKS,
+        strategy: StrategyKind::RandomInjection,
+        check_interval: 1,
+        record_trace: true,
+        ..SimConfig::default()
+    }
+}
+
+fn oracle_jsonl(seed: u64) -> String {
+    let (ids, keys) = placement();
+    let res = Sim::with_placement(oracle_cfg(), seed, ids, keys).run();
+    to_jsonl(res.trace.records())
+}
+
+fn chord_jsonl(seed: u64) -> String {
+    let (ids, keys) = placement();
+    let res = run_protocol_sim_with_placement(
+        &ProtocolSimConfig {
+            nodes: NODES,
+            tasks: TASKS,
+            strategy: StrategyKind::RandomInjection,
+            check_interval: 1,
+            record_trace: true,
+            ..ProtocolSimConfig::default()
+        },
+        seed,
+        ids,
+        keys,
+    );
+    to_jsonl(res.trace.records())
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical_on_both_substrates() {
+    let a = oracle_jsonl(SEED);
+    let b = oracle_jsonl(SEED);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "oracle trace must be byte-stable across runs");
+
+    let c = chord_jsonl(SEED);
+    let d = chord_jsonl(SEED);
+    assert!(!c.is_empty());
+    assert_eq!(c, d, "chord trace must be byte-stable across runs");
+
+    // Both dumps are well-formed on the wire and well-framed in memory.
+    for text in [&a, &c] {
+        let n = validate_jsonl(text).expect("trace validates against the schema");
+        let records = parse_jsonl(text).expect("trace parses");
+        assert_eq!(records.len(), n);
+        check_framing(&records).expect("trace is well-framed");
+        assert_eq!(to_jsonl(&records), *text, "parse/serialize round-trips");
+    }
+}
+
+#[test]
+fn trace_bytes_do_not_depend_on_thread_count() {
+    // The recorder stamps virtual time from a single-threaded event
+    // loop, so the bytes cannot depend on scheduling — this is what
+    // makes `--test-threads=1` and the default parallel harness agree.
+    // Strongest in-process form: the same four seeded runs, executed
+    // serially and on the rayon pool, produce identical dumps.
+    let seeds: Vec<u64> = (0..4).map(|i| SEED + i).collect();
+    let serial: Vec<String> = seeds.iter().map(|&s| oracle_jsonl(s)).collect();
+    let parallel: Vec<String> = seeds.into_par_iter().map(oracle_jsonl).collect();
+    assert_eq!(serial, parallel, "thread count leaked into trace bytes");
+}
+
+#[test]
+fn golden_trace_pins_the_wire_schema() {
+    // A small pinned run whose JSONL is committed at
+    // `tests/data/golden_trace.jsonl`. Any schema or determinism drift
+    // shows up as a byte diff here. Regenerate deliberately with:
+    //     UPDATE_GOLDEN=1 cargo test --test trace_plane golden
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_trace.jsonl");
+    let fresh = {
+        let res = Sim::new(
+            SimConfig {
+                nodes: 6,
+                tasks: 60,
+                strategy: StrategyKind::RandomInjection,
+                check_interval: 1,
+                record_trace: true,
+                ..SimConfig::default()
+            },
+            0x601D,
+        )
+        .run();
+        to_jsonl(res.trace.records())
+    };
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &fresh).expect("write golden");
+    }
+    let committed = std::fs::read_to_string(&path).expect("golden fixture committed");
+    assert_eq!(
+        fresh, committed,
+        "trace wire format drifted from the golden fixture; \
+         regenerate with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+
+    // The fixture itself honors the schema and the framing invariants.
+    validate_jsonl(&committed).expect("golden validates");
+    let records = parse_jsonl(&committed).expect("golden parses");
+    check_framing(&records).expect("golden is well-framed");
+    assert!(matches!(
+        records.first().map(|r| &r.body),
+        Some(TraceBody::RunStart { substrate, .. }) if substrate == "oracle"
+    ));
+    assert!(matches!(
+        records.last().map(|r| &r.body),
+        Some(TraceBody::RunEnd { completed: true })
+    ));
+}
+
+#[test]
+fn diff_reports_first_divergence_with_worker_and_tick() {
+    // The acceptance demonstration: diff two same-seed traces from the
+    // two substrates. The strategy decisions agree while the local
+    // views provably coincide (differential.rs), then task-consumption
+    // order skews the key sets — the diff must either report full
+    // agreement or name the first divergent decision with its worker,
+    // virtual time, and enclosing span.
+    let (ids, keys) = placement();
+    let oracle = Sim::with_placement(oracle_cfg(), SEED, ids.clone(), keys.clone()).run();
+    let chord = run_protocol_sim_with_placement(
+        &ProtocolSimConfig {
+            nodes: NODES,
+            tasks: TASKS,
+            strategy: StrategyKind::RandomInjection,
+            check_interval: 1,
+            record_trace: true,
+            ..ProtocolSimConfig::default()
+        },
+        SEED,
+        ids,
+        keys,
+    );
+
+    let div = diff_traces(oracle.trace.records(), chord.trace.records());
+    let report = render_divergence(&div);
+    match &div {
+        Divergence::None { decisions } => {
+            assert!(*decisions > 0);
+            assert!(report.contains("no divergence"), "{report}");
+        }
+        Divergence::Diverged(p) => {
+            // Both substrates decided in lockstep for a nonempty prefix
+            // (8 empty workers act on tick 1), and the report carries
+            // the who/when a human needs.
+            assert!(p.index >= 8, "diverged too early: {report}");
+            assert!(
+                report.contains("first divergence at decision #"),
+                "{report}"
+            );
+            assert!(report.contains("worker="), "{report}");
+            assert!(report.contains("t="), "{report}");
+            assert!(report.contains("in span["), "{report}");
+        }
+    }
+}
