@@ -172,6 +172,10 @@ pub struct EventNet {
     /// Flight recorder (inert unless [`EventNet::enable_trace`]);
     /// stamped with event time, never wall-clock.
     trace: Trace,
+    /// Reusable buffer for successor-list rebuilds during stabilize —
+    /// the per-message hot path — swapped with the node's previous
+    /// vector so steady-state stabilization never allocates.
+    succ_scratch: Vec<Id>,
 }
 
 /// Telemetry label for a wire message: lookups are traced end-to-end,
@@ -204,6 +208,7 @@ impl EventNet {
             faults: FaultState::inert(),
             crash_clock: 0,
             trace: Trace::default(),
+            succ_scratch: Vec::new(),
         };
         while net.nodes.len() < n {
             let id = Id::random(rng);
@@ -399,10 +404,12 @@ impl EventNet {
             if self.nodes.len() <= 1 {
                 break;
             }
-            let ids = self.node_ids();
-            let idx = self.faults.rng().gen_range(0..ids.len());
-            if let Some(victim) = ids.get(idx) {
-                self.nodes.remove(victim);
+            // Same victim the old `node_ids()[gen_range(..)]` picked —
+            // the idx-th node in id order — without collecting the ids.
+            let len = self.nodes.len();
+            let idx = self.faults.rng().gen_range(0..len);
+            if let Some(victim) = self.nodes.keys().nth(idx).copied() {
+                self.nodes.remove(&victim);
             }
         }
     }
@@ -676,10 +683,12 @@ impl EventNet {
                     x != dst && self.nodes.contains_key(&x) && ring::in_open_arc(dst, of, x)
                 });
                 {
-                    let Some(node) = self.nodes.get_mut(&dst) else {
-                        return;
-                    };
-                    let mut list = Vec::with_capacity(cap);
+                    // Build the new list in the reusable scratch buffer,
+                    // then swap it with the node's old vector — contents
+                    // identical to the fresh-`Vec` construction, but the
+                    // steady state recycles two buffers forever.
+                    let mut list = std::mem::take(&mut self.succ_scratch);
+                    list.clear();
                     if let Some(x) = adopt {
                         list.push(x);
                     }
@@ -687,7 +696,12 @@ impl EventNet {
                     list.extend(succ_list.into_iter().filter(|&s| s != dst));
                     list.dedup();
                     list.truncate(cap);
-                    node.successors = list;
+                    let Some(node) = self.nodes.get_mut(&dst) else {
+                        self.succ_scratch = list;
+                        return;
+                    };
+                    std::mem::swap(&mut node.successors, &mut list);
+                    self.succ_scratch = list;
                 }
                 let Some(new_succ) = self.nodes.get(&dst).map(|n| n.successor()) else {
                     return;

@@ -51,6 +51,11 @@ impl std::fmt::Display for RingError {
 
 impl std::error::Error for RingError {}
 
+/// How many retired task vectors the ring keeps around for reuse.
+/// Splits and merges alternate under churn, so a handful of warm
+/// buffers absorbs the steady state without hoarding memory.
+const POOL_CAP: usize = 32;
+
 /// The ring of virtual nodes.
 #[derive(Debug, Clone)]
 pub struct Ring {
@@ -58,6 +63,12 @@ pub struct Ring {
     total_tasks: u64,
     /// xorshift state for uniform task consumption (deterministic).
     pop_rng: u64,
+    /// Reusable split buffer: holds the newcomer's keys during
+    /// [`Ring::insert_vnode`] so steady-state splits never allocate.
+    scratch: Vec<Id>,
+    /// Retired task vectors from [`Ring::remove_vnode`], recycled as
+    /// newcomer vectors on the next split.
+    pool: Vec<Vec<Id>>,
 }
 
 impl Default for Ring {
@@ -72,20 +83,9 @@ impl Ring {
             map: BTreeMap::new(),
             total_tasks: 0,
             pop_rng: 0x9E37_79B9_7F4A_7C15,
+            scratch: Vec::new(),
+            pool: Vec::new(),
         }
-    }
-
-    /// Next pseudo-random index in `0..len` (xorshift64*; cheap and
-    /// deterministic — good enough for picking which task to run next).
-    #[inline]
-    fn next_pop_index(&mut self, len: usize) -> usize {
-        debug_assert!(len > 0);
-        let mut x = self.pop_rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.pop_rng = x;
-        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % len as u64) as usize
     }
 
     /// Number of virtual nodes.
@@ -209,14 +209,23 @@ impl Ring {
         let succ = self.map.get_mut(&succ_id).expect("successor exists");
         // Keys keeping with the successor are those in (id, succ_id];
         // everything else in its vector belongs to the newcomer.
-        let (keep, give): (Vec<Id>, Vec<Id>) = succ
-            .tasks
-            .iter()
-            .copied()
-            .partition(|&k| arc::in_arc(id, succ_id, k));
-        succ.tasks = keep;
-        let acquired = give.len() as u64;
-        self.map.insert(id, VNode { owner, tasks: give });
+        // `retain` is a stable in-place partition: keepers compact down
+        // in order while the scratch buffer collects the newcomer's
+        // keys, so both vectors end up element-for-element identical to
+        // the two fresh vectors a `partition` would build.
+        self.scratch.clear();
+        let scratch = &mut self.scratch;
+        succ.tasks.retain(|&k| {
+            let keep = arc::in_arc(id, succ_id, k);
+            if !keep {
+                scratch.push(k);
+            }
+            keep
+        });
+        let acquired = self.scratch.len() as u64;
+        let mut tasks = self.pool.pop().unwrap_or_default();
+        tasks.extend_from_slice(&self.scratch);
+        self.map.insert(id, VNode { owner, tasks });
         Ok(acquired)
     }
 
@@ -230,6 +239,7 @@ impl Ring {
             let v = &self.map[&id];
             if v.tasks.is_empty() {
                 let v = self.map.remove(&id).unwrap();
+                self.recycle(v.tasks);
                 return Ok((v.owner, 0, id));
             }
             return Err(RingError::LastVNode);
@@ -239,7 +249,16 @@ impl Ring {
         let moved = v.tasks.len() as u64;
         let succ = self.map.get_mut(&succ_id).unwrap();
         succ.tasks.extend_from_slice(&v.tasks);
+        self.recycle(v.tasks);
         Ok((v.owner, moved, succ_id))
+    }
+
+    /// Parks a retired task vector for reuse by a later split.
+    fn recycle(&mut self, mut tasks: Vec<Id>) {
+        if self.pool.len() < POOL_CAP && tasks.capacity() > 0 {
+            tasks.clear();
+            self.pool.push(tasks);
+        }
     }
 
     /// Distributes an arbitrary batch of task keys onto their owning
@@ -258,11 +277,6 @@ impl Ring {
             // keys in (a, b]: advance start past ≤ a, then take ≤ b.
             let lo = keys[start..].partition_point(|&k| k <= a) + start;
             let hi = keys[lo..].partition_point(|&k| k <= b) + lo;
-            if lo > start {
-                // Keys in (prev_b, a] belong to a — but windows already
-                // covered them; this branch only triggers for the head
-                // chunk handled below.
-            }
             let node = self.map.get_mut(&b).unwrap();
             extend_sorted(&mut node.tasks, &keys[lo..hi]);
             start = hi;
@@ -282,15 +296,15 @@ impl Ring {
     /// Consumes one uniformly random task from the virtual node.
     /// Returns `false` if the node is absent or idle.
     pub fn pop_task(&mut self, id: Id) -> bool {
-        let Some(v) = self.map.get(&id) else {
+        let Some(v) = self.map.get_mut(&id) else {
             return false;
         };
         let len = v.tasks.len();
         if len == 0 {
             return false;
         }
-        let idx = self.next_pop_index(len);
-        self.map.get_mut(&id).unwrap().tasks.swap_remove(idx);
+        let idx = next_pop_index(&mut self.pop_rng, len);
+        v.tasks.swap_remove(idx);
         self.total_tasks -= 1;
         true
     }
@@ -342,6 +356,21 @@ impl Ring {
         }
         Ok(())
     }
+}
+
+/// Next pseudo-random index in `0..len` (xorshift64*; cheap and
+/// deterministic — good enough for picking which task to run next).
+/// Free function over the bare state word so callers holding a mutable
+/// borrow into the node map can still step the generator.
+#[inline]
+fn next_pop_index(state: &mut u64, len: usize) -> usize {
+    debug_assert!(len > 0);
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % len as u64) as usize
 }
 
 /// Merges two ascending-sorted vectors into one.

@@ -33,6 +33,9 @@ pub struct Sim {
     pub(crate) rng_strategy: DetRng,
     active_count: usize,
     work_history: Vec<u64>,
+    /// Reusable buffer for per-sample active-load collection, so the
+    /// series sampler never allocates in steady state.
+    scratch_loads: Vec<u64>,
     snapshots: Vec<Snapshot>,
     peak_vnodes: usize,
     series: TickSeries,
@@ -135,6 +138,7 @@ impl Sim {
         let active_count = cfg.nodes;
         let peak = ring.len();
         let cfg_record_events = cfg.record_events;
+        let cfg_max_ticks = cfg.effective_max_ticks();
         let mut trace = Trace::new(cfg.record_trace);
         trace.run_start(0, "oracle", cfg.strategy.label(), seed);
         let strategies = crate::strategy::stack_for(&cfg);
@@ -148,7 +152,10 @@ impl Sim {
             rng_churn: substream(seed, 0, domains::CHURN),
             rng_strategy: substream(seed, 0, domains::STRATEGY),
             active_count,
-            work_history: Vec::new(),
+            // Seed enough room for the common case (runs end well under
+            // the tick cap); capped so absurd caps don't reserve memory.
+            work_history: Vec::with_capacity((cfg_max_ticks.min(65_536)) as usize),
+            scratch_loads: Vec::new(),
             snapshots: Vec::new(),
             peak_vnodes: peak,
             series: TickSeries::default(),
@@ -228,17 +235,20 @@ impl Sim {
                 continue;
             }
             let mut cap = self.workers[idx].capacity(strength_based);
-            if cap == 0 || self.workers[idx].load == 0 {
+            let load = self.workers[idx].load;
+            if cap == 0 || load == 0 {
                 continue;
             }
-            // Drain primary first, then Sybils.
-            let vnodes: Vec<Id> = self.workers[idx].vnodes().collect();
-            'outer: for v in vnodes {
+            // Drain primary first, then Sybils. The vnode iterator
+            // borrows the worker table immutably while `pop_task`
+            // mutates the (disjoint) ring, so no per-worker collection
+            // is needed; the load cache is settled after the loop.
+            let mut consumed_w = 0u64;
+            'outer: for v in self.workers[idx].vnodes() {
                 while cap > 0 && self.ring.pop_task(v) {
                     cap -= 1;
-                    consumed += 1;
-                    self.workers[idx].load -= 1;
-                    if self.workers[idx].load == 0 {
+                    consumed_w += 1;
+                    if consumed_w == load {
                         break 'outer;
                     }
                 }
@@ -246,6 +256,8 @@ impl Sim {
                     break;
                 }
             }
+            consumed += consumed_w;
+            self.workers[idx].load = load - consumed_w;
         }
         self.work_history.push(consumed);
         self.peak_vnodes = self.peak_vnodes.max(self.ring.len());
@@ -261,17 +273,28 @@ impl Sim {
         consumed
     }
 
-    /// Records one time-series sample at the current tick.
+    /// Records one time-series sample at the current tick. Collects the
+    /// active loads into a reusable scratch buffer (idle counted before
+    /// the in-place sort feeds `gini_sorted`), so sampling allocates
+    /// only while the buffer grows to the worker-table high-water mark.
     fn sample_series(&mut self) {
-        let loads = self.active_loads();
+        self.scratch_loads.clear();
+        self.scratch_loads.extend(
+            self.workers
+                .iter()
+                .filter(|w| w.is_active())
+                .map(|w| w.load),
+        );
+        let idle = self.scratch_loads.iter().filter(|&&l| l == 0).count();
+        self.scratch_loads.sort_unstable();
         self.series.ticks.push(self.tick);
         self.series.active_workers.push(self.active_count);
         self.series.vnodes.push(self.ring.len());
         self.series.remaining.push(self.ring.total_tasks());
-        self.series.gini.push(autobal_stats::gini(&loads));
         self.series
-            .idle
-            .push(loads.iter().filter(|&&l| l == 0).count());
+            .gini
+            .push(autobal_stats::gini_sorted(&self.scratch_loads));
+        self.series.idle.push(idle);
     }
 
     /// Runs to completion (or the tick cap) and returns the result.

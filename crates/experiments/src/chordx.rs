@@ -63,9 +63,9 @@ pub fn maintenance_cost(args: &Args) {
         strategy: autobal_core::StrategyKind::Churn,
         ..autobal_core::SimConfig::default()
     };
-    let base_factor =
-        autobal_workload::trials::run_and_summarize(&base_cfg, args.trials, args.seed ^ 0xC0)
-            .mean_runtime_factor;
+    let base_factor = args
+        .run_cell(&base_cfg, args.seed ^ 0xC0)
+        .mean_runtime_factor;
 
     for rate in [0.0, 0.001, 0.01, 0.05, 0.1] {
         // Protocol cost: run the substrate with matching churn.
@@ -114,8 +114,7 @@ pub fn maintenance_cost(args: &Args) {
                 churn_rate: rate,
                 ..base_cfg.clone()
             };
-            autobal_workload::trials::run_and_summarize(&cfg, args.trials, args.seed ^ 0xC1)
-                .mean_runtime_factor
+            args.run_cell(&cfg, args.seed ^ 0xC1).mean_runtime_factor
         };
         println!(
             "  rate {rate:<6}: {msgs:.1} msgs/node/cycle ({pings:.2} pings, {transfers:.2} transfers), factor {factor:.3}, speedup {:.2}x",

@@ -3,8 +3,10 @@
 use autobal_core::{RunResult, SimConfig};
 use autobal_stats::Histogram;
 use autobal_telemetry::{to_jsonl, TraceRecord};
+use autobal_workload::{run_and_summarize_cached, TrialStats, WorkloadCache};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Parsed command line.
 #[derive(Debug, Clone)]
@@ -22,6 +24,12 @@ pub struct Args {
     pub trace: Option<PathBuf>,
     /// Record strategy event logs in single-run experiments.
     pub events: bool,
+    /// Committed benchmark baseline to compare against (`repro perf
+    /// --baseline BENCH_5.json`); `None` skips the comparison.
+    pub baseline: Option<PathBuf>,
+    /// Workload memo table shared by every cell this process runs, so
+    /// cells that differ only in strategy reuse one generated workload.
+    pub cache: Arc<WorkloadCache>,
 }
 
 impl Args {
@@ -33,6 +41,8 @@ impl Args {
             seed: 0xA0B1_C2D3,
             trace: None,
             events: false,
+            baseline: None,
+            cache: Arc::new(WorkloadCache::new()),
         };
         let mut it = argv.iter();
         while let Some(a) = it.next() {
@@ -60,6 +70,10 @@ impl Args {
                     args.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?));
                 }
                 "--events" => args.events = true,
+                "--baseline" => {
+                    args.baseline =
+                        Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag {other}"));
                 }
@@ -72,6 +86,12 @@ impl Args {
     /// Should this experiment id run?
     pub fn wants(&self, id: &str) -> bool {
         self.targets.is_empty() || self.targets.iter().any(|t| t == id || t == "all")
+    }
+
+    /// Runs one experiment cell (`self.trials` trials at `seed`)
+    /// through the process-wide workload cache.
+    pub fn run_cell(&self, cfg: &SimConfig, seed: u64) -> TrialStats {
+        run_and_summarize_cached(&self.cache, cfg, self.trials, seed)
     }
 
     /// Applies the `--trace` / `--events` instrumentation flags to a
@@ -144,7 +164,7 @@ pub fn aligned_histograms(series: &[&[u64]]) -> Vec<Vec<(u64, u64, u64)>> {
 pub fn run_with_snapshots(args: &Args, tag: &str, mut cfg: SimConfig, ticks: &[u64]) -> RunResult {
     cfg.snapshot_ticks = ticks.to_vec();
     args.instrument(&mut cfg);
-    let res = autobal_core::Sim::new(cfg, args.seed).run();
+    let res = args.cache.sim(cfg, args.seed).run();
     args.write_trace(tag, res.trace.records());
     res
 }
@@ -186,6 +206,15 @@ mod tests {
         assert!(Args::parse(&s(&["--bogus"])).is_err());
         assert!(Args::parse(&s(&["--trials"])).is_err());
         assert!(Args::parse(&s(&["--trace"])).is_err());
+        assert!(Args::parse(&s(&["--baseline"])).is_err());
+    }
+
+    #[test]
+    fn parse_baseline_path() {
+        let a = Args::parse(&[]).unwrap();
+        assert!(a.baseline.is_none());
+        let a = Args::parse(&s(&["--baseline", "BENCH_5.json"])).unwrap();
+        assert_eq!(a.baseline, Some(PathBuf::from("BENCH_5.json")));
     }
 
     #[test]

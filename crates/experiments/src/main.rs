@@ -2,13 +2,18 @@
 //!
 //! ```text
 //! repro [--quick | --full | --trials N] [--seed S] [--out DIR]
-//!       [--trace PATH] [--events] [targets…]
+//!       [--trace PATH] [--events] [--baseline BENCH.json] [targets…]
 //!
 //! targets: table1 table2 fig1 fig2_3 fig4_6 fig7_9 fig10 fig11_12
 //!          fig13_14 text_ri text_ni text_inv messages extensions
 //!          worktick timeseries chord_hops chord_churn
 //!          maintenance_cost async_latency resilience trace
 //!                                                        (default: all)
+//!
+//! The `perf` target (never part of the default set) runs the pinned
+//! benchmark scenarios and writes `BENCH_5.json`; `--baseline PATH`
+//! compares it against a committed baseline and fails on a >2x
+//! throughput regression.
 //! ```
 //!
 //! `--quick` (default) uses 5 trials per cell; `--full` uses the paper's
@@ -21,12 +26,17 @@
 mod chordx;
 mod common;
 mod figures;
+mod perf;
 mod resilience;
 mod tables;
 mod textual;
 mod tracex;
 
 use common::Args;
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: autobal_meminstr::CountingAlloc = autobal_meminstr::CountingAlloc::new();
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +46,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro [--quick|--full|--trials N] [--seed S] [--out DIR] \
-                 [--trace PATH] [--events] [targets…]"
+                 [--trace PATH] [--events] [--baseline BENCH.json] [targets…]"
             );
             std::process::exit(2);
         }
@@ -117,6 +127,11 @@ fn main() {
     }
     if args.wants("trace") {
         tracex::trace(&args);
+    }
+    // Opt-in only: wall-clock benchmarks are meaningless in a default
+    // "regenerate everything" run and would slow it down.
+    if args.targets.iter().any(|t| t == "perf") {
+        perf::perf(&args);
     }
 
     eprintln!("done in {:?}", t0.elapsed());

@@ -176,6 +176,8 @@ mod tests {
             seed: 7,
             trace: None,
             events: false,
+            baseline: None,
+            cache: std::sync::Arc::new(autobal_workload::WorkloadCache::new()),
         };
         let cell = run_cell(&args, StrategyKind::RandomInjection, 0.05, 0.0);
         assert_eq!(cell.completed, 1);

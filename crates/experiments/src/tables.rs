@@ -4,8 +4,8 @@ use crate::common::write_out;
 use crate::common::Args;
 use autobal_core::{SimConfig, StrategyKind};
 use autobal_stats::{spacings, summary::average_summaries};
+use autobal_workload::initial_load_summary;
 use autobal_workload::tables::{f3, Table};
-use autobal_workload::{initial_load_summary, trials::run_and_summarize};
 use rayon::prelude::*;
 
 /// Table I: median workload and σ of the initial distribution for nine
@@ -108,7 +108,7 @@ pub fn table2(args: &Args) {
                 churn_rate: rate,
                 ..SimConfig::default()
             };
-            let s = run_and_summarize(&cfg, args.trials, args.seed ^ (ri as u64) << 8 ^ ci as u64);
+            let s = args.run_cell(&cfg, args.seed ^ (ri as u64) << 8 ^ ci as u64);
             row.push(f3(s.mean_runtime_factor));
             row.push(f3(paper[ri][ci]));
             println!(

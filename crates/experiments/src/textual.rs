@@ -5,7 +5,6 @@
 use crate::common::{write_out, Args};
 use autobal_core::{Heterogeneity, SimConfig, StrategyKind, WorkMeasurement};
 use autobal_workload::tables::{f3, Table};
-use autobal_workload::trials::run_and_summarize;
 
 fn base(nodes: usize, tasks: u64, strategy: StrategyKind) -> SimConfig {
     SimConfig {
@@ -21,7 +20,7 @@ pub fn text_ri(args: &Args) {
     println!("text_ri: §VI-B random injection claims");
     let mut table = Table::new(vec!["configuration", "mean factor", "σ", "paper says"]);
     let mut log = |name: &str, cfg: SimConfig, paper: &str, seed_salt: u64| -> f64 {
-        let s = run_and_summarize(&cfg, args.trials, args.seed ^ seed_salt);
+        let s = args.run_cell(&cfg, args.seed ^ seed_salt);
         println!(
             "  {name}: {:.3} ± {:.3}   [{paper}]",
             s.mean_runtime_factor, s.std_runtime_factor
@@ -142,7 +141,7 @@ pub fn text_ni(args: &Args) {
     println!("text_ni: §VI-C neighbor injection claims");
     let mut table = Table::new(vec!["configuration", "mean factor", "σ", "paper says"]);
     let mut log = |name: &str, cfg: SimConfig, paper: &str, salt: u64| -> f64 {
-        let s = run_and_summarize(&cfg, args.trials, args.seed ^ salt);
+        let s = args.run_cell(&cfg, args.seed ^ salt);
         println!(
             "  {name}: {:.3} ± {:.3}   [{paper}]",
             s.mean_runtime_factor, s.std_runtime_factor
@@ -220,7 +219,7 @@ pub fn text_inv(args: &Args) {
     println!("text_inv: §VI-D invitation claims");
     let mut table = Table::new(vec!["configuration", "mean factor", "σ", "paper says"]);
     let mut log = |name: &str, cfg: SimConfig, paper: &str, salt: u64| {
-        let s = run_and_summarize(&cfg, args.trials, args.seed ^ salt);
+        let s = args.run_cell(&cfg, args.seed ^ salt);
         println!(
             "  {name}: {:.3} ± {:.3}   [{paper}]",
             s.mean_runtime_factor, s.std_runtime_factor
@@ -384,7 +383,7 @@ pub fn extensions(args: &Args) {
     println!("extensions: §VII future-work features");
     let mut table = Table::new(vec!["configuration", "mean factor", "σ", "expectation"]);
     let mut log = |name: &str, cfg: SimConfig, note: &str, salt: u64| -> f64 {
-        let s = run_and_summarize(&cfg, args.trials, args.seed ^ salt);
+        let s = args.run_cell(&cfg, args.seed ^ salt);
         println!(
             "  {name}: {:.3} ± {:.3}   [{note}]",
             s.mean_runtime_factor, s.std_runtime_factor
@@ -484,7 +483,7 @@ pub fn messages(args: &Args) {
             },
             ..base(1000, 100_000, strat)
         };
-        let s = run_and_summarize(&cfg, args.trials, args.seed ^ 31);
+        let s = args.run_cell(&cfg, args.seed ^ 31);
         let m = &s.messages;
         let per_trial = |v: u64| v / args.trials.max(1);
         println!(

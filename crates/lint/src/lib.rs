@@ -706,6 +706,7 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/experiments/src",
     "crates/id/src",
     "crates/lint/src",
+    "crates/meminstr/src",
     "crates/stats/src",
     "crates/telemetry/src",
     "crates/viz/src",

@@ -10,16 +10,24 @@
 /// sorted-sample formula `G = (2·Σ i·x_i)/(n·Σ x_i) − (n+1)/n` with
 /// 1-based ranks `i`.
 pub fn gini(values: &[u64]) -> f64 {
-    let n = values.len();
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    gini_sorted(&sorted)
+}
+
+/// [`gini`] over an already-ascending sample, skipping the copy and
+/// sort. Callers that reuse a scratch buffer (the simulator's per-tick
+/// series sampling) sort in place and come here.
+pub fn gini_sorted(sorted: &[u64]) -> f64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let n = sorted.len();
     if n == 0 {
         return 0.0;
     }
-    let total: u128 = values.iter().map(|&v| v as u128).sum();
+    let total: u128 = sorted.iter().map(|&v| v as u128).sum();
     if total == 0 {
         return 0.0;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_unstable();
     let weighted: u128 = sorted
         .iter()
         .enumerate()
@@ -96,6 +104,16 @@ mod tests {
     fn gini_known_half() {
         // [0, x]: G = 1/2.
         assert!((gini(&[0, 10]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_sorted_matches_gini() {
+        let samples: [&[u64]; 5] = [&[], &[0, 0], &[42], &[3, 1, 4, 1, 5, 9, 2, 6], &[0, 10]];
+        for s in samples {
+            let mut sorted = s.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(gini(s), gini_sorted(&sorted), "sample {s:?}");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod summary;
 pub mod zipf;
 
 pub use ci::{bootstrap_mean_ci, ConfidenceInterval};
-pub use fairness::{coefficient_of_variation, gini, jain_index};
+pub use fairness::{coefficient_of_variation, gini, gini_sorted, jain_index};
 pub use histogram::{Histogram, LogHistogram};
 pub use rng::{seeded_rng, DetRng};
 pub use summary::Summary;

@@ -1,0 +1,231 @@
+//! Shared, read-only workload generation.
+//!
+//! Every trial of every experiment cell used to regenerate its node
+//! placement and task key set from scratch — for SHA-1 workloads that
+//! means re-hashing millions of keys per trial even when two cells
+//! differ only in strategy. A [`WorkloadCache`] generates each distinct
+//! `(seed, trial, kind, n)` workload exactly once and hands out
+//! reference-counted slices (`Arc<[Id]>`), so concurrent rayon trials
+//! share one immutable copy.
+//!
+//! Generation is **bit-identical** to the uncached paths: the same
+//! substream domains and the same generator bodies as
+//! `autobal_core::Sim::new` and [`crate::placement::initial_loads`]
+//! (pinned by the equivalence tests below), so caching can never change
+//! a result — only how often it is computed.
+
+use crate::gen;
+use autobal_core::{RunResult, Sim, SimConfig};
+use autobal_id::Id;
+use autobal_stats::rng::{domains, substream};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::trials::{summarize, TrialStats};
+
+/// Which generator a cached entry came from. Part of the cache key so
+/// the four generator families can never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    /// Distinct uniform node ids (`Sim::new`'s placement).
+    RandomPlacement,
+    /// Uniform task keys, duplicates allowed (`Sim::new`'s tasks).
+    RandomTasks,
+    /// Distinct SHA-1 node ids (`initial_loads`' placement).
+    Sha1Placement,
+    /// SHA-1 task keys (`initial_loads`' tasks).
+    Sha1Tasks,
+}
+
+type CacheKey = (u64, u64, Kind, usize);
+
+/// A concurrent memo table from workload parameters to generated id
+/// sets. Cheap to share (`Arc<WorkloadCache>`); all methods take
+/// `&self`.
+#[derive(Debug, Default)]
+pub struct WorkloadCache {
+    entries: Mutex<BTreeMap<CacheKey, Arc<[Id]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WorkloadCache {
+    pub fn new() -> WorkloadCache {
+        WorkloadCache::default()
+    }
+
+    /// Times the map was asked for an entry it already had.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Times an entry had to be generated.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Looks up or generates one entry. Generation runs outside the
+    /// lock — two threads racing on the same fresh key may both
+    /// generate, but they produce identical data and the first insert
+    /// wins, so sharing stays correct under any interleaving.
+    fn get_or_generate(&self, key: CacheKey, generate: impl FnOnce() -> Vec<Id>) -> Arc<[Id]> {
+        {
+            let entries = self.entries.lock().expect("cache lock");
+            if let Some(hit) = entries.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh: Arc<[Id]> = generate().into();
+        let mut entries = self.entries.lock().expect("cache lock");
+        Arc::clone(entries.entry(key).or_insert(fresh))
+    }
+
+    /// The node placement `Sim::new(cfg, seed)` draws: `n` distinct
+    /// uniform ids from the `PLACEMENT` substream.
+    pub fn random_node_ids(&self, seed: u64, trial: u64, n: usize) -> Arc<[Id]> {
+        self.get_or_generate((seed, trial, Kind::RandomPlacement, n), || {
+            gen::random_ids(n, &mut substream(seed, trial, domains::PLACEMENT))
+        })
+    }
+
+    /// The task keys `Sim::new(cfg, seed)` draws: `n` uniform ids from
+    /// the `TASKS` substream (duplicates allowed, like the paper).
+    pub fn random_task_keys(&self, seed: u64, trial: u64, n: usize) -> Arc<[Id]> {
+        self.get_or_generate((seed, trial, Kind::RandomTasks, n), || {
+            let mut rng = substream(seed, trial, domains::TASKS);
+            (0..n).map(|_| Id::random(&mut rng)).collect()
+        })
+    }
+
+    /// The SHA-1 node placement [`crate::placement::initial_loads`]
+    /// builds.
+    pub fn sha1_node_ids(&self, seed: u64, trial: u64, n: usize) -> Arc<[Id]> {
+        self.get_or_generate((seed, trial, Kind::Sha1Placement, n), || {
+            gen::sha1_ids(n, &mut substream(seed, trial, domains::PLACEMENT))
+        })
+    }
+
+    /// The SHA-1 task keys [`crate::placement::initial_loads`] hashes.
+    pub fn sha1_task_keys(&self, seed: u64, trial: u64, n: usize) -> Arc<[Id]> {
+        self.get_or_generate((seed, trial, Kind::Sha1Tasks, n), || {
+            gen::sha1_keys(n, &mut substream(seed, trial, domains::TASKS))
+        })
+    }
+
+    /// Cache-backed replacement for `Sim::new(cfg, seed)`: identical
+    /// simulator (the placement substreams are shared through the
+    /// cache; everything else of `Sim::with_placement` runs as usual).
+    pub fn sim(&self, cfg: SimConfig, seed: u64) -> Sim {
+        let nodes = self.random_node_ids(seed, 0, cfg.nodes);
+        let keys = self.random_task_keys(seed, 0, cfg.tasks as usize);
+        Sim::with_placement(cfg, seed, nodes.to_vec(), keys.to_vec())
+    }
+}
+
+/// [`crate::trials::run_trials`] with workloads served from `cache` —
+/// same per-trial seeds, same results, shared generation.
+pub fn run_trials_cached(
+    cache: &WorkloadCache,
+    cfg: &SimConfig,
+    trials: u64,
+    seed: u64,
+) -> Vec<RunResult> {
+    (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let trial_seed = seed ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            cache.sim(cfg.clone(), trial_seed).run()
+        })
+        .collect()
+}
+
+/// Convenience: cached run + summarize.
+pub fn run_and_summarize_cached(
+    cache: &WorkloadCache,
+    cfg: &SimConfig,
+    trials: u64,
+    seed: u64,
+) -> TrialStats {
+    summarize(&run_trials_cached(cache, cfg, trials, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trials::run_trials;
+    use autobal_core::StrategyKind;
+
+    fn cfg(strategy: StrategyKind) -> SimConfig {
+        SimConfig {
+            nodes: 30,
+            tasks: 1_000,
+            strategy,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn cached_sim_matches_sim_new() {
+        let cache = WorkloadCache::new();
+        for seed in [1u64, 99, 0xA0B1_C2D3] {
+            let a = Sim::new(cfg(StrategyKind::RandomInjection), seed).run();
+            let b = cache.sim(cfg(StrategyKind::RandomInjection), seed).run();
+            assert_eq!(a.ticks, b.ticks, "seed {seed}");
+            assert_eq!(a.work_per_tick, b.work_per_tick, "seed {seed}");
+            assert_eq!(a.messages, b.messages, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cached_trials_match_uncached() {
+        let cache = WorkloadCache::new();
+        let a = run_trials(&cfg(StrategyKind::None), 4, 99);
+        let b = run_trials_cached(&cache, &cfg(StrategyKind::None), 4, 99);
+        assert_eq!(
+            a.iter().map(|r| r.ticks).collect::<Vec<_>>(),
+            b.iter().map(|r| r.ticks).collect::<Vec<_>>()
+        );
+        assert_eq!(cache.misses(), 8, "4 trials × (placement + tasks)");
+    }
+
+    #[test]
+    fn second_config_on_same_seed_hits_the_cache() {
+        let cache = WorkloadCache::new();
+        let _ = run_trials_cached(&cache, &cfg(StrategyKind::None), 3, 7);
+        let misses_after_first = cache.misses();
+        // A different strategy over the same seed reuses every workload.
+        let _ = run_trials_cached(&cache, &cfg(StrategyKind::RandomInjection), 3, 7);
+        assert_eq!(cache.misses(), misses_after_first);
+        assert!(cache.hits() >= 6);
+    }
+
+    #[test]
+    fn sha1_entries_match_direct_generation() {
+        let cache = WorkloadCache::new();
+        let a = cache.sha1_task_keys(5, 2, 100);
+        let direct = gen::sha1_keys(100, &mut substream(5, 2, domains::TASKS));
+        assert_eq!(a.as_ref(), direct.as_slice());
+        let b = cache.sha1_node_ids(5, 2, 50);
+        let direct = gen::sha1_ids(50, &mut substream(5, 2, domains::PLACEMENT));
+        assert_eq!(b.as_ref(), direct.as_slice());
+        // Kind is part of the key: same (seed, trial, n) in different
+        // families must not alias.
+        let c = cache.random_task_keys(5, 2, 100);
+        assert_ne!(a.as_ref(), c.as_ref());
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = WorkloadCache::new();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        let first = cache.random_node_ids(1, 0, 10);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = cache.random_node_ids(1, 0, 10);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&first, &second), "shared, not regenerated");
+    }
+}

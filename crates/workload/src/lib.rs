@@ -7,6 +7,7 @@
 //! crate runs those trials across cores with deterministic per-trial
 //! seeds, so any row can be reproduced bit-for-bit from `(spec, seed)`.
 
+pub mod cache;
 pub mod gen;
 pub mod placement;
 pub mod spec;
@@ -14,6 +15,7 @@ pub mod sweep;
 pub mod tables;
 pub mod trials;
 
+pub use cache::{run_and_summarize_cached, run_trials_cached, WorkloadCache};
 pub use gen::{evenly_spaced_ids, random_ids, sha1_keys};
 pub use placement::initial_load_summary;
 pub use spec::ExperimentSpec;

@@ -4,6 +4,7 @@
 //! for a tour and `DESIGN.md` for the system inventory.
 
 pub mod protocol_sim;
+pub mod reference;
 
 pub use autobal_chord as chord;
 pub use autobal_core as sim;
@@ -13,3 +14,6 @@ pub use autobal_viz as viz;
 pub use autobal_workload as workload;
 
 pub use autobal_id::Id;
+
+#[cfg(feature = "count-allocs")]
+pub use autobal_meminstr as meminstr;

@@ -277,9 +277,10 @@ impl ChordSubstrate {
     /// Crash-fails one whole worker: every vnode vanishes abruptly, the
     /// worker never returns. Returns the keys permanently lost.
     fn crash_worker(&mut self, w: usize) -> u64 {
-        let vnodes: Vec<Id> = self.workers[w].vnodes().collect();
         let mut lost = 0;
-        for v in vnodes {
+        // The vnode iterator holds the worker table; the network and
+        // owner map are disjoint fields, so no collection is needed.
+        for v in self.workers[w].vnodes() {
             if let Ok(rep) = self.net.fail(v) {
                 lost += rep.keys_lost;
             }
@@ -306,8 +307,14 @@ impl ChordSubstrate {
             if self.active_count <= 1 {
                 return;
             }
-            let actives = self.decision_order();
-            let w = actives[self.rng_faults.gen_range(0..actives.len())];
+            // Same victim the old `decision_order()[gen_range(..)]`
+            // picked — the k-th active worker in index order — without
+            // materializing the candidate list.
+            let k = self.rng_faults.gen_range(0..self.active_count);
+            let w = (0..self.workers.len())
+                .filter(|&i| self.workers[i].active)
+                .nth(k)
+                .expect("active worker exists");
             self.crash_worker(w);
         }
     }
@@ -784,10 +791,10 @@ fn run_inner(
         }
 
         // Work phase: each active worker consumes one task from its
-        // nodes (primary first, then Sybils).
+        // nodes (primary first, then Sybils). The vnode iterator and
+        // the network are disjoint fields, so no per-worker collection.
         for w in 0..sub.workers.len() {
-            let vnodes: Vec<Id> = sub.workers[w].vnodes().collect();
-            for v in vnodes {
+            for v in sub.workers[w].vnodes() {
                 let popped = sub
                     .net
                     .node_mut(v)

@@ -1,0 +1,90 @@
+//! Allocation regression test for the steady-state tick loop.
+//!
+//! The hot-path overhaul's core promise: once a simulation reaches
+//! steady state (placement done, scratch buffers warmed), `Sim::step`
+//! performs **zero** heap allocations. This binary installs the
+//! counting allocator from `autobal-meminstr` process-wide and measures
+//! a 1 000-tick window directly.
+//!
+//! Gated behind the `count-allocs` feature so the ordinary test run
+//! keeps the system allocator untouched:
+//!
+//! ```text
+//! cargo test --release --features count-allocs --test zero_alloc
+//! ```
+#![cfg(feature = "count-allocs")]
+
+use autobal::meminstr::{allocation_delta, CountingAlloc};
+use autobal::sim::{Sim, SimConfig, StrategyKind};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// A workload big enough that 1 000 + warmup ticks cannot drain it, so
+/// every measured tick exercises the full work loop.
+fn steady_cfg() -> SimConfig {
+    SimConfig {
+        nodes: 200,
+        tasks: 2_000_000,
+        strategy: StrategyKind::None,
+        churn_rate: 0.0,
+        series_interval: None,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn steady_state_ticks_do_not_allocate() {
+    let mut sim = Sim::new(steady_cfg(), 0xA0B1_C2D3);
+    // Warmup: lets one-time lazy growth (work history headroom,
+    // strategy scratch) happen outside the measured window.
+    for _ in 0..32 {
+        sim.step();
+    }
+    let (allocs, consumed) = allocation_delta(|| {
+        let mut consumed = 0u64;
+        for _ in 0..1_000 {
+            consumed += sim.step();
+        }
+        consumed
+    });
+    assert!(consumed > 0, "window must have done real work");
+    assert_eq!(
+        allocs, 0,
+        "steady-state tick loop allocated {allocs} times over 1k ticks"
+    );
+}
+
+/// The same property seen end-to-end: a full run's allocation count is
+/// dominated by setup, not by ticks — running 4x more ticks over the
+/// same setup must not add more than a sliver of allocations.
+#[test]
+fn allocations_scale_with_setup_not_ticks() {
+    let short = {
+        let mut cfg = steady_cfg();
+        cfg.max_ticks = Some(250);
+        let mut sim = Sim::new(cfg, 7);
+        allocation_delta(|| {
+            for _ in 0..250 {
+                sim.step();
+            }
+        })
+        .0
+    };
+    let long = {
+        let mut cfg = steady_cfg();
+        cfg.max_ticks = Some(1_000);
+        let mut sim = Sim::new(cfg, 7);
+        allocation_delta(|| {
+            for _ in 0..1_000 {
+                sim.step();
+            }
+        })
+        .0
+    };
+    assert!(
+        long <= short + 8,
+        "4x the ticks added {} allocations (short {short}, long {long})",
+        long - short
+    );
+}
