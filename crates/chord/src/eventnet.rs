@@ -21,7 +21,7 @@ use autobal_id::{ring, Id, ID_BITS};
 use autobal_telemetry::{MessageStatus, Trace, TraceSink};
 use rand::Rng;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// Tunables for the event-driven overlay.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +52,46 @@ impl Default for EventConfig {
             max_hops: 256,
         }
     }
+}
+
+/// Application-level payloads carried over the overlay's wire: the
+/// strategy vocabulary (load probes, invitations) the event-time
+/// substrate sends between vnodes. These ride the same queue, latency,
+/// and fault machinery as protocol traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppMsg {
+    /// "How many task keys do you hold?" (billed like the sync probe).
+    LoadQuery,
+    /// Reply to a `LoadQuery`.
+    LoadReply { load: u64 },
+    /// Overload announcement from worker `inviter` (billed).
+    Invitation { inviter: u64 },
+    /// Reply to an `Invitation`: can the recipient's owner help, and at
+    /// what current load?
+    InviteReply { can: bool, load: u64 },
+    /// Delivery failure bounce: the recipient was dead. Never sent in
+    /// response to another `Nack`, so bounces cannot loop.
+    Nack,
+}
+
+/// What [`EventNet::run_until_app`] surfaces to the embedding
+/// substrate: an application message arriving at a live node, an
+/// application timer firing, or a watched lookup completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppEvent {
+    /// `msg` arrived at live node `at` (sent by `from` under `req`).
+    Msg {
+        at: Id,
+        from: Id,
+        req: u64,
+        msg: AppMsg,
+    },
+    /// An application timer armed via
+    /// [`EventNet::schedule_app_timer`] fired.
+    Timer { token: u64 },
+    /// A lookup registered with [`EventNet::watch_lookup`] (or started
+    /// by [`EventNet::join_tracked`]) finished.
+    LookupDone(AsyncLookup),
 }
 
 /// Protocol messages (and local timers).
@@ -86,6 +126,11 @@ enum Msg {
     StabilizeTimer,
     /// Local timeout check for a pending lookup.
     LookupTimeout { req: u64 },
+    /// Application message between vnodes (strategy traffic).
+    App { from: Id, req: u64, app: AppMsg },
+    /// Application timer (substrate tick/check cadence); delivered to
+    /// the embedding substrate, not to any node.
+    AppTimer { token: u64 },
 }
 
 /// Per-node state (message-level variant).
@@ -96,6 +141,10 @@ struct ENode {
     predecessor: Option<Id>,
     fingers: Vec<Option<Id>>,
     next_finger: usize,
+    /// Per-node strategy state: load probes received.
+    queries_seen: u64,
+    /// Per-node strategy state: invitations received.
+    invites_seen: u64,
 }
 
 impl ENode {
@@ -106,6 +155,8 @@ impl ENode {
             predecessor: None,
             fingers: vec![None; ID_BITS as usize],
             next_finger: 0,
+            queries_seen: 0,
+            invites_seen: 0,
         }
     }
 
@@ -176,6 +227,14 @@ pub struct EventNet {
     /// the per-message hot path — swapped with the node's previous
     /// vector so steady-state stabilization never allocates.
     succ_scratch: Vec<Id>,
+    /// Application events (messages, timers, watched-lookup results)
+    /// ready for the embedding substrate to consume.
+    app_events: VecDeque<AppEvent>,
+    /// Lookup request ids whose completion should surface as an
+    /// [`AppEvent::LookupDone`].
+    watched: BTreeSet<u64>,
+    /// Total events handled by the loop (for events/s accounting).
+    pub wire_events: u64,
 }
 
 /// Telemetry label for a wire message: lookups are traced end-to-end,
@@ -187,13 +246,18 @@ fn wire_kind(msg: &Msg) -> &'static str {
         }
         Msg::StabilizeTimer | Msg::GetPredecessor { .. } | Msg::PredecessorIs { .. } => "stabilize",
         Msg::Notify { .. } => "notify",
+        Msg::App { app, .. } => match app {
+            AppMsg::LoadQuery | AppMsg::LoadReply { .. } => "load_query",
+            AppMsg::Invitation { .. } | AppMsg::InviteReply { .. } => "invitation",
+            AppMsg::Nack => "app",
+        },
+        Msg::AppTimer { .. } => "timer",
     }
 }
 
 impl EventNet {
-    /// A fully stabilized ring of `n` random nodes with timers armed.
-    pub fn bootstrap<R: rand::Rng + ?Sized>(cfg: EventConfig, n: usize, rng: &mut R) -> EventNet {
-        let mut net = EventNet {
+    fn empty(cfg: EventConfig) -> EventNet {
+        EventNet {
             cfg,
             time: 0,
             seq: 0,
@@ -209,17 +273,67 @@ impl EventNet {
             crash_clock: 0,
             trace: Trace::default(),
             succ_scratch: Vec::new(),
-        };
+            app_events: VecDeque::new(),
+            watched: BTreeSet::new(),
+            wire_events: 0,
+        }
+    }
+
+    /// A fully stabilized ring of `n` random nodes with timers armed.
+    pub fn bootstrap<R: rand::Rng + ?Sized>(cfg: EventConfig, n: usize, rng: &mut R) -> EventNet {
+        let mut net = EventNet::empty(cfg);
         while net.nodes.len() < n {
             let id = Id::random(rng);
             net.nodes.entry(id).or_insert_with(|| ENode::new(id));
         }
+        net.finish_bootstrap();
+        net
+    }
+
+    /// A fully stabilized ring over the given node ids (duplicates
+    /// collapse), with timers armed — the differential hook the
+    /// event-time substrate uses to mirror a synchronous `Network`.
+    pub fn from_ids(cfg: EventConfig, ids: &[Id]) -> EventNet {
+        let mut net = EventNet::empty(cfg);
+        for &id in ids {
+            net.nodes.entry(id).or_insert_with(|| ENode::new(id));
+        }
+        net.finish_bootstrap();
+        net
+    }
+
+    fn finish_bootstrap(&mut self) {
         // Ground-truth wiring (paper: the network starts stable).
-        let ids: Vec<Id> = net.nodes.keys().copied().collect();
+        self.rewire_ground_truth();
+        // Stagger stabilize timers so the network does not thunder.
+        let ids: Vec<Id> = self.nodes.keys().copied().collect();
+        let every = self.cfg.stabilize_every.max(1);
+        for (i, &id) in ids.iter().enumerate() {
+            let jitter = (i as u64 * 7) % every;
+            let at = self.time + jitter + 1;
+            self.send_at(at, id, Msg::StabilizeTimer);
+        }
+    }
+
+    /// Rewires every live node's successor list, predecessor, and
+    /// finger table from ground truth — as if stabilization had fully
+    /// converged this instant. The degenerate event-substrate
+    /// configuration calls this after each membership change
+    /// ("stabilize-before-check" ordering), which is what makes its
+    /// decision trace bit-comparable to the synchronous substrate's.
+    pub fn rewire_ground_truth(&mut self) {
+        let ids: Vec<Id> = self.nodes.keys().copied().collect();
         let count = ids.len();
+        if count == 0 {
+            return;
+        }
         for (i, &id) in ids.iter().enumerate() {
             let mut succ = Vec::new();
-            for k in 1..=cfg.successor_list_len.min(count.saturating_sub(1).max(1)) {
+            for k in 1..=self
+                .cfg
+                .successor_list_len
+                .min(count.saturating_sub(1).max(1))
+            {
                 // autobal-lint: allow(panic-safety, "index is taken modulo ids.len(), always in bounds")
                 succ.push(ids[(i + k) % count]);
             }
@@ -234,19 +348,13 @@ impl EventNet {
                 let idx = ids.partition_point(|&x| x < target) % count;
                 *f = ids.get(idx).copied();
             }
-            let Some(node) = net.nodes.get_mut(&id) else {
+            let Some(node) = self.nodes.get_mut(&id) else {
                 continue;
             };
             node.successors = succ;
             node.predecessor = Some(pred);
             node.fingers = fingers;
         }
-        // Stagger stabilize timers so the network does not thunder.
-        for (i, &id) in ids.iter().enumerate() {
-            let jitter = (i as u64 * 7) % cfg.stabilize_every.max(1);
-            net.send_at(net.time + jitter + 1, id, Msg::StabilizeTimer);
-        }
-        net
     }
 
     /// Arms a fault plan for the rest of the run. Scheduled crash times
@@ -312,17 +420,24 @@ impl EventNet {
     /// A new node joins through `contact`: its own-id lookup resolves
     /// asynchronously; until then it only knows the contact.
     pub fn join(&mut self, id: Id, contact: Id) -> bool {
+        self.join_tracked(id, contact).is_some()
+    }
+
+    /// [`EventNet::join`], but the join's own-id lookup is watched: its
+    /// completion surfaces as an [`AppEvent::LookupDone`] carrying the
+    /// returned request id, so the embedding substrate can block on it.
+    pub fn join_tracked(&mut self, id: Id, contact: Id) -> Option<u64> {
         if self.nodes.contains_key(&id) || !self.nodes.contains_key(&contact) {
-            return false;
+            return None;
         }
         let mut node = ENode::new(id);
         node.successors = vec![contact];
         self.nodes.insert(id, node);
         let req = self.start_lookup_from(id, id);
-        let _ = req;
+        self.watched.insert(req);
         let t = self.time + 1;
         self.send_at(t, id, Msg::StabilizeTimer);
-        true
+        Some(req)
     }
 
     /// Issues an asynchronous lookup from `origin`; returns the request
@@ -367,6 +482,55 @@ impl EventNet {
         std::mem::take(&mut self.completed)
     }
 
+    /// Registers interest in a pending lookup: when it completes (or
+    /// times out), an [`AppEvent::LookupDone`] surfaces through
+    /// [`EventNet::run_until_app`].
+    pub fn watch_lookup(&mut self, req: u64) {
+        self.watched.insert(req);
+    }
+
+    /// Sends an application request from vnode `from` to vnode `dst`
+    /// over the real wire (latency, loss, partitions, duplication all
+    /// apply). Requests are billed to [`EventNet::stats`] by kind
+    /// before the fault draw, mirroring the synchronous substrate's
+    /// bill-then-maybe-drop `try_message`. Returns the request id the
+    /// eventual reply (or `Nack`) will carry.
+    pub fn send_app(&mut self, from: Id, dst: Id, app: AppMsg) -> u64 {
+        use crate::messages::MessageKind as MK;
+        match app {
+            AppMsg::LoadQuery => self.stats.record(MK::LoadQuery),
+            AppMsg::Invitation { .. } => self.stats.record(MK::Invitation),
+            _ => {}
+        }
+        let req = self.next_req;
+        self.next_req += 1;
+        self.send(from, dst, Msg::App { from, req, app });
+        req
+    }
+
+    /// Sends an application reply (unbilled — the request already paid)
+    /// through the same wire machinery.
+    pub fn reply_app(&mut self, from: Id, dst: Id, req: u64, app: AppMsg) {
+        self.send(from, dst, Msg::App { from, req, app });
+    }
+
+    /// Arms an application timer that fires at absolute time `at` as an
+    /// [`AppEvent::Timer`]. Timers are local to the embedding substrate
+    /// (no node address, no faults) but share the queue, so they
+    /// interleave deterministically with wire traffic.
+    pub fn schedule_app_timer(&mut self, at: u64, token: u64) {
+        let at = at.max(self.time);
+        self.send_at(at, Id::ZERO, Msg::AppTimer { token });
+    }
+
+    /// Per-node strategy state: `(load queries seen, invitations
+    /// seen)` for a live node.
+    pub fn app_stats(&self, id: Id) -> Option<(u64, u64)> {
+        self.nodes
+            .get(&id)
+            .map(|n| (n.queries_seen, n.invites_seen))
+    }
+
     /// Runs the event loop until `deadline` (inclusive) or queue
     /// exhaustion. Returns events processed.
     pub fn run_until(&mut self, deadline: u64) -> u64 {
@@ -383,11 +547,49 @@ impl EventNet {
             };
             self.time = self.time.max(at);
             processed += 1;
+            self.wire_events += 1;
             self.handle(dst, msg);
         }
         self.apply_due_crashes(deadline);
         self.time = self.time.max(deadline);
         processed
+    }
+
+    /// Runs the event loop until the next application event (message
+    /// arrival, timer firing, watched-lookup completion), `deadline`,
+    /// or queue exhaustion — whichever comes first. Protocol traffic
+    /// (stabilize, notify, finger refresh, routing) is processed
+    /// inline, so application events genuinely race stabilization.
+    ///
+    /// A `deadline` of `u64::MAX` means "wait for the next app event":
+    /// the clock is left at the last processed event rather than being
+    /// catapulted to the horizon when the queue drains.
+    pub fn run_until_app(&mut self, deadline: u64) -> Option<AppEvent> {
+        loop {
+            if let Some(ev) = self.app_events.pop_front() {
+                return Some(ev);
+            }
+            let Some(&Reverse((at, seq))) = self.queue.peek() else {
+                break;
+            };
+            if at > deadline {
+                break;
+            }
+            self.apply_due_crashes(at.min(deadline));
+            self.queue.pop();
+            let (dst, msg) = match self.payloads.remove(&seq) {
+                Some(p) => p,
+                None => continue,
+            };
+            self.time = self.time.max(at);
+            self.wire_events += 1;
+            self.handle(dst, msg);
+        }
+        if deadline != u64::MAX {
+            self.apply_due_crashes(deadline);
+            self.time = self.time.max(deadline);
+        }
+        None
     }
 
     // ---- internals --------------------------------------------------
@@ -448,15 +650,57 @@ impl EventNet {
     }
 
     fn handle(&mut self, dst: Id, msg: Msg) {
+        // Application timers belong to the embedding substrate, not to
+        // any node — they fire regardless of ring membership.
+        if let Msg::AppTimer { token } = msg {
+            self.app_events.push_back(AppEvent::Timer { token });
+            return;
+        }
         if !self.nodes.contains_key(&dst) {
             // Recipient died; the message evaporates.
             self.dropped += 1;
             self.trace
                 .message(self.time, wire_kind(&msg), MessageStatus::Dropped, 0);
+            // Application *requests* to a corpse bounce, so a blocking
+            // caller learns `Unreachable` instead of waiting out its
+            // timeout. Replies and bounces die silently — a `Nack` is
+            // never Nacked, so bounces cannot loop between two corpses.
+            if let Msg::App { from, req, app } = msg {
+                if matches!(app, AppMsg::LoadQuery | AppMsg::Invitation { .. }) {
+                    self.send(
+                        dst,
+                        from,
+                        Msg::App {
+                            from: dst,
+                            req,
+                            app: AppMsg::Nack,
+                        },
+                    );
+                }
+            }
             return;
         }
         use crate::messages::MessageKind as MK;
         match msg {
+            Msg::AppTimer { .. } => {
+                // Intercepted above; unreachable here, but the match
+                // must stay exhaustive without a catch-all.
+            }
+            Msg::App { from, req, app } => {
+                if let Some(node) = self.nodes.get_mut(&dst) {
+                    match app {
+                        AppMsg::LoadQuery => node.queries_seen += 1,
+                        AppMsg::Invitation { .. } => node.invites_seen += 1,
+                        _ => {}
+                    }
+                }
+                self.app_events.push_back(AppEvent::Msg {
+                    at: dst,
+                    from,
+                    req,
+                    msg: app,
+                });
+            }
             Msg::FindSuccessor {
                 key,
                 origin,
@@ -546,13 +790,17 @@ impl EventNet {
                         MessageStatus::Delivered,
                         u64::from(p.attempts.saturating_sub(1)),
                     );
-                    self.completed.push(AsyncLookup {
+                    let done = AsyncLookup {
                         req,
                         key,
                         owner: Some(owner),
                         latency: self.time - p.sent_at,
                         hops,
-                    });
+                    };
+                    self.completed.push(done);
+                    if self.watched.remove(&req) {
+                        self.app_events.push_back(AppEvent::LookupDone(done));
+                    }
                     // A lookup for one's own id is a join completing:
                     // adopt the owner as successor.
                     if key == dst && owner != dst {
@@ -610,13 +858,17 @@ impl EventNet {
                     MessageStatus::TimedOut,
                     u64::from(p.attempts.saturating_sub(1)),
                 );
-                self.completed.push(AsyncLookup {
+                let done = AsyncLookup {
                     req,
                     key: p.key,
                     owner: None,
                     latency: self.time - p.sent_at,
                     hops: 0,
-                });
+                };
+                self.completed.push(done);
+                if self.watched.remove(&req) {
+                    self.app_events.push_back(AppEvent::LookupDone(done));
+                }
             }
             Msg::StabilizeTimer => {
                 self.stats.record(MK::Stabilize);

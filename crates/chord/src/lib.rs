@@ -51,7 +51,7 @@ pub mod network;
 pub mod node;
 pub mod routing;
 
-pub use eventnet::{AsyncLookup, EventConfig, EventNet};
+pub use eventnet::{AppEvent, AppMsg, AsyncLookup, EventConfig, EventNet};
 pub use fault::{CrashEvent, FaultPlan, FaultState, Partition};
 pub use messages::{MessageKind, MessageStats};
 pub use network::{FailReport, LookupResult, NetConfig, Network, NetworkError, RewireReport};

@@ -292,6 +292,30 @@ impl StrategyStack {
         }
     }
 
+    /// Does any layer dispatch per worker on check ticks? Event-time
+    /// substrates use this to decide whether a check tick needs
+    /// per-worker timer events at all.
+    pub fn has_per_node(&self) -> bool {
+        self.layers
+            .iter()
+            .any(|l| l.scope() == StrategyScope::PerNode)
+    }
+
+    /// Runs every `PerNode` layer for one worker — the scheduling hook
+    /// event-time substrates dispatch from per-worker timer events.
+    /// [`StrategyStack::on_check`] iterates layer-outer/worker-inner;
+    /// this is worker-outer/layer-inner. The two orders coincide
+    /// whenever at most one `PerNode` layer is stacked, which holds for
+    /// every paper configuration (background churn is `TickOnly`; the
+    /// Sybil strategies never stack with each other).
+    pub fn check_one(&self, sub: &mut dyn Substrate, w: WorkerId) {
+        for layer in &self.layers {
+            if layer.scope() == StrategyScope::PerNode {
+                sub.check_worker(w, layer.as_ref());
+            }
+        }
+    }
+
     /// Runs the check-cadence phase (Sybil layers).
     pub fn on_check(&self, sub: &mut dyn Substrate) {
         for layer in &self.layers {

@@ -25,7 +25,7 @@ pub struct Args {
     /// Record strategy event logs in single-run experiments.
     pub events: bool,
     /// Committed benchmark baseline to compare against (`repro perf
-    /// --baseline BENCH_5.json`); `None` skips the comparison.
+    /// --baseline BENCH_6.json`); `None` skips the comparison.
     pub baseline: Option<PathBuf>,
     /// Workload memo table shared by every cell this process runs, so
     /// cells that differ only in strategy reuse one generated workload.
@@ -213,8 +213,8 @@ mod tests {
     fn parse_baseline_path() {
         let a = Args::parse(&[]).unwrap();
         assert!(a.baseline.is_none());
-        let a = Args::parse(&s(&["--baseline", "BENCH_5.json"])).unwrap();
-        assert_eq!(a.baseline, Some(PathBuf::from("BENCH_5.json")));
+        let a = Args::parse(&s(&["--baseline", "BENCH_6.json"])).unwrap();
+        assert_eq!(a.baseline, Some(PathBuf::from("BENCH_6.json")));
     }
 
     #[test]

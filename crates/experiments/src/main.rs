@@ -7,11 +7,12 @@
 //! targets: table1 table2 fig1 fig2_3 fig4_6 fig7_9 fig10 fig11_12
 //!          fig13_14 text_ri text_ni text_inv messages extensions
 //!          worktick timeseries chord_hops chord_churn
-//!          maintenance_cost async_latency resilience trace
+//!          maintenance_cost async_latency resilience eventtime
+//!          trace
 //!                                                        (default: all)
 //!
 //! The `perf` target (never part of the default set) runs the pinned
-//! benchmark scenarios and writes `BENCH_5.json`; `--baseline PATH`
+//! benchmark scenarios and writes `BENCH_6.json`; `--baseline PATH`
 //! compares it against a committed baseline and fails on a >2x
 //! throughput regression.
 //! ```
@@ -25,6 +26,7 @@
 
 mod chordx;
 mod common;
+mod eventcmp;
 mod figures;
 mod perf;
 mod resilience;
@@ -124,6 +126,9 @@ fn main() {
     }
     if args.wants("resilience") {
         resilience::resilience(&args);
+    }
+    if args.wants("eventtime") {
+        eventcmp::eventtime(&args);
     }
     if args.wants("trace") {
         tracex::trace(&args);

@@ -1,8 +1,10 @@
 //! `repro perf` — the benchmark/regression plane.
 //!
-//! Runs pinned end-to-end scenarios on all three substrates and emits
-//! `BENCH_5.json` (schema `autobal-perf-v1`) with wall time and
-//! throughput per scenario. The oracle-ring scenario additionally runs
+//! Runs pinned end-to-end scenarios on every substrate — the oracle
+//! ring, the synchronous protocol loop, the event-time strategy loop,
+//! and the raw eventnet lookup plane — and emits `BENCH_6.json`
+//! (schema `autobal-perf-v1`) with wall time and throughput per
+//! scenario. The oracle-ring scenario additionally runs
 //! the naive pre-optimization reference engine
 //! ([`autobal::reference::NaiveSim`]) **in the same process and on the
 //! same inputs**, asserts the two engines produce identical results,
@@ -10,7 +12,7 @@
 //! comparison across machines or commits.
 //!
 //! `--baseline PATH` compares this run's throughput against a committed
-//! `BENCH_5.json` and fails (exit 1) only on a >2x regression; smaller
+//! `BENCH_6.json` and fails (exit 1) only on a >2x regression; smaller
 //! wobble is expected CI noise.
 //!
 //! With the `count-allocs` feature the binary's global allocator counts
@@ -18,6 +20,7 @@
 //! the field is `null` and the schema is unchanged.
 
 use crate::common::{write_out, Args};
+use autobal::event_sim::{run_event_sim, EventSimConfig};
 use autobal::protocol_sim::{run_protocol_sim, ProtocolSimConfig};
 use autobal::reference::NaiveSim;
 use autobal_chord::{EventConfig, EventNet};
@@ -47,7 +50,7 @@ fn alloc_count<R>(f: impl FnOnce() -> R) -> (Option<u64>, R) {
     (None, f())
 }
 
-/// One measured scenario, as serialized into `BENCH_5.json`.
+/// One measured scenario, as serialized into `BENCH_6.json`.
 struct Measurement {
     name: &'static str,
     substrate: &'static str,
@@ -213,6 +216,46 @@ fn chord_protocol(args: &Args) -> Measurement {
     }
 }
 
+/// The full strategy loop on the event-time substrate: the same
+/// workload shape as `chord_protocol`, but every load query,
+/// invitation, and Sybil join rides the asynchronous wire under real
+/// message latency, racing stabilization. `work` counts wire events
+/// processed, so the gated figure is event-loop throughput, not ticks.
+fn event_substrate(args: &Args) -> Measurement {
+    let cfg = EventSimConfig {
+        proto: ProtocolSimConfig {
+            nodes: 96,
+            tasks: 9_600,
+            strategy: StrategyKind::SmartNeighbor,
+            churn_rate: 0.01,
+            ..ProtocolSimConfig::default()
+        },
+        ..EventSimConfig::default()
+    };
+    let seed = args.seed ^ 0x61;
+    let (first_ms, _) = wall_ms(|| run_event_sim(&cfg, seed));
+    let (second_ms, (allocs, run)) = wall_ms(|| alloc_count(|| run_event_sim(&cfg, seed)));
+    let ms = first_ms.min(second_ms);
+    println!(
+        "  event_substrate: {} events | {:.0} ms ({:.0} events/s)",
+        run.wire_events,
+        ms,
+        run.wire_events as f64 / (ms / 1e3)
+    );
+    Measurement {
+        name: "event_substrate",
+        substrate: "event",
+        units: "events",
+        work: run.wire_events,
+        wall_ms: ms,
+        throughput: run.wire_events as f64 / (ms / 1e3),
+        allocations: allocs,
+        peak_vnodes: None,
+        naive_wall_ms: None,
+        speedup_vs_naive: None,
+    }
+}
+
 fn eventnet_once(seed: u64) -> u64 {
     let mut rng = substream(seed, 0, domains::PLACEMENT);
     let mut net = EventNet::bootstrap(EventConfig::default(), 256, &mut rng);
@@ -255,7 +298,7 @@ fn eventnet(args: &Args) -> Measurement {
     }
 }
 
-/// Compares this run against a committed `BENCH_5.json`. Returns the
+/// Compares this run against a committed `BENCH_6.json`. Returns the
 /// regressions found (scenario name, baseline throughput, current).
 fn compare_baseline(
     baseline_raw: &str,
@@ -297,10 +340,11 @@ fn compare_baseline(
 }
 
 pub fn perf(args: &Args) {
-    println!("perf: pinned benchmark scenarios (BENCH_5.json)");
+    println!("perf: pinned benchmark scenarios (BENCH_6.json)");
     let measurements = vec![
         oracle_ring_large(args),
         chord_protocol(args),
+        event_substrate(args),
         eventnet(args),
     ];
 
@@ -310,7 +354,7 @@ pub fn perf(args: &Args) {
         args.seed,
         body.join(",\n")
     );
-    write_out(&args.out, "BENCH_5.json", &json);
+    write_out(&args.out, "BENCH_6.json", &json);
 
     if let Some(path) = &args.baseline {
         let raw = fs::read_to_string(path)

@@ -15,9 +15,11 @@
 //!   simulated clock, and all iteration from ordered containers.
 //! * **P — panic-safety** (`panic-safety`): no `unwrap()` / `expect()` /
 //!   `panic!` / slice-indexing in the `autobal-chord` message-delivery
-//!   and retry paths (`network.rs`, `eventnet.rs`, `fault.rs`). The
-//!   fault plane guarantees those paths are fallible; they must return
-//!   `NetworkError` / `ActionError` and degrade, not crash.
+//!   and retry paths (`network.rs`, `eventnet.rs`, `fault.rs`) and the
+//!   event-time substrate (`src/event_sim.rs`), whose blocking drains
+//!   sit directly on those paths. The fault plane guarantees those
+//!   paths are fallible; they must return `NetworkError` /
+//!   `ActionError` and degrade, not crash.
 //! * **S — strategy locality** (`strategy-locality`): strategy modules
 //!   under `crates/core/src/strategy/` may only see the
 //!   `LocalView` / `Actions` / `Substrate` surface — never
@@ -479,6 +481,7 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
         "crates/chord/src/network.rs"
             | "crates/chord/src/eventnet.rs"
             | "crates/chord/src/fault.rs"
+            | "src/event_sim.rs"
     ) {
         rules.push(Rule::PanicSafety);
     }
@@ -814,6 +817,10 @@ mod tests {
         assert_eq!(
             rules_for("src/protocol_sim.rs"),
             vec![Rule::Determinism, Rule::OutputDiscipline]
+        );
+        assert_eq!(
+            rules_for("src/event_sim.rs"),
+            vec![Rule::Determinism, Rule::PanicSafety, Rule::OutputDiscipline]
         );
     }
 }

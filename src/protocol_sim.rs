@@ -129,6 +129,9 @@ pub struct ProtocolRun {
     pub tasks_lost: u64,
     /// Workers removed by the crash plane (they never return).
     pub workers_crashed: u64,
+    /// Tasks consumed per worker slot — the Gini input for the
+    /// cross-substrate decision-quality comparison.
+    pub tasks_done: Vec<u64>,
     /// Strategy decision trace (empty unless
     /// [`ProtocolSimConfig::record_events`]).
     pub events: EventLog,
@@ -770,6 +773,7 @@ fn run_inner(
         },
     };
 
+    let mut tasks_done = vec![0u64; sub.workers.len()];
     let mut next_crash = 0usize;
     while sub.net.total_keys() > 0 && sub.tick < cfg.max_ticks {
         sub.tick += 1;
@@ -793,14 +797,18 @@ fn run_inner(
         // Work phase: each active worker consumes one task from its
         // nodes (primary first, then Sybils). The vnode iterator and
         // the network are disjoint fields, so no per-worker collection.
-        for w in 0..sub.workers.len() {
-            for v in sub.workers[w].vnodes() {
+        for (w, done) in tasks_done.iter_mut().enumerate() {
+            let Some(worker) = sub.workers.get(w) else {
+                continue;
+            };
+            for v in worker.vnodes() {
                 let popped = sub
                     .net
                     .node_mut(v)
                     .and_then(|n| n.keys.pop_first())
                     .is_some();
                 if popped {
+                    *done += 1;
                     break;
                 }
             }
@@ -824,6 +832,7 @@ fn run_inner(
         sybils_retired: sub.sybils_retired,
         tasks_lost: sub.tasks_lost,
         workers_crashed: sub.workers_crashed,
+        tasks_done,
         events: sub.events,
         trace: sub.trace,
     }

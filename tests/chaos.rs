@@ -1,5 +1,5 @@
-//! Chaos suite: randomized adversity against the Chord substrate and
-//! the protocol-level strategy runs.
+//! Chaos suite: randomized adversity against the Chord substrate, the
+//! protocol-level strategy runs, and the event-time substrate.
 //!
 //! Three claims are defended here:
 //!
@@ -17,7 +17,8 @@
 //! `CHAOS_SEED` (env var) pins the randomized scenario for CI replay:
 //! `CHAOS_SEED=3 cargo test --test chaos`.
 
-use autobal::chord::{CrashEvent, FaultPlan, NetConfig, Network, Partition};
+use autobal::chord::{CrashEvent, EventConfig, FaultPlan, NetConfig, Network, Partition};
+use autobal::event_sim::{run_event_sim, EventSimConfig};
 use autobal::protocol_sim::{run_protocol_sim, ProtocolSimConfig};
 use autobal::sim::StrategyKind;
 use autobal::stats::rng::{domains, substream};
@@ -149,6 +150,119 @@ fn identical_fault_seeds_replay_identically_across_thread_counts() {
     assert_eq!(a.tasks_lost, b.tasks_lost);
     assert_eq!(a.workers_crashed, b.workers_crashed);
     assert_eq!(a.sybils_created, b.sybils_created);
+    assert_eq!(
+        a.events.events(),
+        b.events.events(),
+        "full decision traces match"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Claim 1 on **event time**: randomized wire loss × a partition
+    /// window × scheduled crashes never destroy a task silently — every
+    /// key is consumed, still alive, or billed as lost, and the billing
+    /// planes agree.
+    #[test]
+    fn event_substrate_conserves_tasks_under_chaos(
+        seed in any::<u64>(),
+        loss_pct in 0u32..=20,
+        partitioned in any::<bool>(),
+        crashes in 0u32..=4,
+    ) {
+        let tasks = 800u64;
+        let cfg = EventSimConfig {
+            proto: ProtocolSimConfig {
+                nodes: 24,
+                tasks,
+                strategy: StrategyKind::RandomInjection,
+                fault: FaultPlan {
+                    seed,
+                    loss_rate: loss_pct as f64 / 100.0,
+                    // Wire partition times are event-time units:
+                    // ticks 10–30 at the default 100-unit tick.
+                    partitions: if partitioned {
+                        vec![Partition { start: 1_000, end: 3_000 }]
+                    } else {
+                        Vec::new()
+                    },
+                    // Crash events stay tick-indexed (substrate plane).
+                    crashes: if crashes > 0 {
+                        vec![CrashEvent { at: 5, count: crashes }]
+                    } else {
+                        Vec::new()
+                    },
+                    ..FaultPlan::default()
+                },
+                ..ProtocolSimConfig::default()
+            },
+            ..EventSimConfig::default()
+        };
+        let res = run_event_sim(&cfg, seed ^ 0x5EED);
+        prop_assert!(res.completed, "survivors must finish the workload");
+        let done: u64 = res.tasks_done.iter().sum();
+        // Conservation: nothing vanishes silently. Any ownership
+        // transfer — a crash promotion, but also every graceful Sybil
+        // join/retire handoff — can *resurrect* a task consumed since
+        // the previous replica sync (the active-backup model redoes
+        // that work rather than risk dropping it; the synchronous
+        // substrate over-counts identically). Strategies spawn Sybils
+        // by design, so strict equality never holds: the invariant is
+        // consumed + alive + billed-lost covers the workload.
+        prop_assert!(
+            done + res.tasks_remaining + res.tasks_lost >= tasks,
+            "tasks vanished: done {} + remaining {} + lost {} < {}",
+            done, res.tasks_remaining, res.tasks_lost, tasks
+        );
+        prop_assert_eq!(
+            res.tasks_lost, res.messages.keys_lost,
+            "substrate and network billing disagree"
+        );
+    }
+}
+
+/// Claim 2 on event time: wire faults, probe timeouts, and the event
+/// queue all draw from seeded streams — runs are bit-identical across
+/// rayon thread counts, down to the event clock and the wire bill.
+#[test]
+fn event_runs_replay_identically_across_thread_counts() {
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                run_event_sim(
+                    &EventSimConfig {
+                        proto: ProtocolSimConfig {
+                            nodes: 24,
+                            tasks: 1_200,
+                            strategy: StrategyKind::SmartNeighbor,
+                            fault: FaultPlan::lossy(99, 0.10),
+                            crash_rate: 0.1,
+                            record_events: true,
+                            ..ProtocolSimConfig::default()
+                        },
+                        event: EventConfig {
+                            latency: 20,
+                            ..EventConfig::default()
+                        },
+                        ..EventSimConfig::default()
+                    },
+                    5,
+                )
+            })
+    };
+    let a = run(1);
+    let b = run(8);
+    assert_eq!(a.ticks, b.ticks);
+    assert_eq!(a.time, b.time, "event clocks diverged");
+    assert_eq!(a.wire, b.wire, "wire bills diverged");
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.tasks_done, b.tasks_done);
+    assert_eq!(a.lookup_latencies, b.lookup_latencies);
+    assert_eq!(a.workers_crashed, b.workers_crashed);
     assert_eq!(
         a.events.events(),
         b.events.events(),

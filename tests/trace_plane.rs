@@ -5,6 +5,8 @@
 //! `autobal-trace`-style diff reports the first causal divergence
 //! between the oracle and Chord substrates with worker and tick.
 
+use autobal::chord::EventConfig;
+use autobal::event_sim::{run_event_sim, run_event_sim_with_placement, EventSimConfig};
 use autobal::protocol_sim::{run_protocol_sim_with_placement, ProtocolSimConfig};
 use autobal::sim::{Sim, SimConfig, StrategyKind};
 use autobal::stats::rng::{domains, substream, DetRng};
@@ -166,6 +168,156 @@ fn golden_trace_pins_the_wire_schema() {
         records.last().map(|r| &r.body),
         Some(TraceBody::RunEnd { completed: true })
     ));
+}
+
+fn chord_cfg() -> ProtocolSimConfig {
+    ProtocolSimConfig {
+        nodes: NODES,
+        tasks: TASKS,
+        strategy: StrategyKind::RandomInjection,
+        check_interval: 1,
+        record_trace: true,
+        ..ProtocolSimConfig::default()
+    }
+}
+
+#[test]
+fn golden_event_trace_pins_the_wire_schema() {
+    // The event-time sibling of `golden_trace_pins_the_wire_schema`:
+    // the same small pinned run, executed on the asynchronous overlay
+    // under real (default) message latency, committed at
+    // `tests/data/golden_event_trace.jsonl`. Any drift in the event
+    // loop's timer cadence, wire billing, or retry accounting moves
+    // these bytes. Regenerate deliberately with:
+    //     UPDATE_GOLDEN=1 cargo test --test trace_plane golden
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_event_trace.jsonl");
+    let fresh = {
+        let res = run_event_sim(
+            &EventSimConfig {
+                proto: ProtocolSimConfig {
+                    nodes: 6,
+                    tasks: 60,
+                    strategy: StrategyKind::RandomInjection,
+                    check_interval: 1,
+                    record_trace: true,
+                    ..ProtocolSimConfig::default()
+                },
+                ..EventSimConfig::default()
+            },
+            0x601D,
+        );
+        to_jsonl(res.trace.records())
+    };
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &fresh).expect("write golden");
+    }
+    let committed = std::fs::read_to_string(&path).expect("golden fixture committed");
+    assert_eq!(
+        fresh, committed,
+        "event trace drifted from the golden fixture; \
+         regenerate with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+
+    validate_jsonl(&committed).expect("golden validates");
+    let records = parse_jsonl(&committed).expect("golden parses");
+    check_framing(&records).expect("golden is well-framed");
+    assert!(matches!(
+        records.first().map(|r| &r.body),
+        Some(TraceBody::RunStart { substrate, .. }) if substrate == "event"
+    ));
+    assert!(matches!(
+        records.last().map(|r| &r.body),
+        Some(TraceBody::RunEnd { completed: true })
+    ));
+}
+
+#[test]
+fn degenerate_event_trace_diffs_clean_against_protocol() {
+    // The tentpole's correctness anchor, stated on the telemetry plane:
+    // with zero wire latency and inert faults, the event substrate's
+    // decision trace diffs clean against the synchronous protocol
+    // substrate — `autobal-trace diff` reports zero causal divergence —
+    // for every decentralized strategy.
+    for kind in [
+        StrategyKind::None,
+        StrategyKind::RandomInjection,
+        StrategyKind::NeighborInjection,
+        StrategyKind::SmartNeighbor,
+        StrategyKind::Invitation,
+    ] {
+        let (ids, keys) = placement();
+        let mut pcfg = chord_cfg();
+        pcfg.strategy = kind;
+        let proto = run_protocol_sim_with_placement(&pcfg, SEED, ids.clone(), keys.clone());
+        let event = run_event_sim_with_placement(
+            &EventSimConfig {
+                proto: pcfg,
+                event: EventConfig {
+                    latency: 0,
+                    ..EventConfig::default()
+                },
+                ..EventSimConfig::default()
+            },
+            SEED,
+            ids,
+            keys,
+        );
+        let div = diff_traces(proto.trace.records(), event.trace.records());
+        let report = render_divergence(&div);
+        match div {
+            Divergence::None { decisions } => {
+                // The paper's baseline network decides nothing; every
+                // active strategy must produce a nonempty stream.
+                assert!(
+                    decisions > 0 || kind == StrategyKind::None,
+                    "{kind:?}: empty decision stream"
+                );
+                assert!(report.contains("no divergence"), "{kind:?}: {report}");
+            }
+            Divergence::Diverged(_) => {
+                panic!("{kind:?}: degenerate event run diverged from protocol:\n{report}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tick_vs_event_diff_localizes_the_latency_skew() {
+    // The measurement the event substrate exists for: under real
+    // message latency the strategies see stale loads and late replies,
+    // so the decision stream eventually leaves the tick-time oracle's.
+    // The diff must localize that skew — or report clean agreement —
+    // exactly as it does between the two synchronous substrates.
+    let (ids, keys) = placement();
+    let oracle = Sim::with_placement(oracle_cfg(), SEED, ids.clone(), keys.clone()).run();
+    let event = run_event_sim_with_placement(
+        &EventSimConfig {
+            proto: chord_cfg(),
+            ..EventSimConfig::default()
+        },
+        SEED,
+        ids,
+        keys,
+    );
+    let div = diff_traces(oracle.trace.records(), event.trace.records());
+    let report = render_divergence(&div);
+    match &div {
+        Divergence::None { decisions } => {
+            assert!(*decisions > 0);
+            assert!(report.contains("no divergence"), "{report}");
+        }
+        Divergence::Diverged(p) => {
+            assert!(p.index >= 8, "diverged too early: {report}");
+            assert!(
+                report.contains("first divergence at decision #"),
+                "{report}"
+            );
+            assert!(report.contains("worker="), "{report}");
+            assert!(report.contains("t="), "{report}");
+            assert!(report.contains("in span["), "{report}");
+        }
+    }
 }
 
 #[test]
