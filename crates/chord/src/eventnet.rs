@@ -62,7 +62,12 @@ impl Default for EventConfig {
 pub enum AppMsg {
     /// "How many task keys do you hold?" (billed like the sync probe).
     LoadQuery,
-    /// Reply to a `LoadQuery`.
+    /// Cross-checking relay probe: "how many task keys does `target`
+    /// hold, as far as you can tell?" Billed like a direct probe; the
+    /// *relay* answers from its replica knowledge, so a Byzantine relay
+    /// distorts the answer while the target stays out of the loop.
+    LoadQueryAbout { target: Id },
+    /// Reply to a `LoadQuery` or `LoadQueryAbout`.
     LoadReply { load: u64 },
     /// Overload announcement from worker `inviter` (billed).
     Invitation { inviter: u64 },
@@ -247,7 +252,9 @@ fn wire_kind(msg: &Msg) -> &'static str {
         Msg::StabilizeTimer | Msg::GetPredecessor { .. } | Msg::PredecessorIs { .. } => "stabilize",
         Msg::Notify { .. } => "notify",
         Msg::App { app, .. } => match app {
-            AppMsg::LoadQuery | AppMsg::LoadReply { .. } => "load_query",
+            AppMsg::LoadQuery | AppMsg::LoadQueryAbout { .. } | AppMsg::LoadReply { .. } => {
+                "load_query"
+            }
             AppMsg::Invitation { .. } | AppMsg::InviteReply { .. } => "invitation",
             AppMsg::Nack => "app",
         },
@@ -498,7 +505,7 @@ impl EventNet {
     pub fn send_app(&mut self, from: Id, dst: Id, app: AppMsg) -> u64 {
         use crate::messages::MessageKind as MK;
         match app {
-            AppMsg::LoadQuery => self.stats.record(MK::LoadQuery),
+            AppMsg::LoadQuery | AppMsg::LoadQueryAbout { .. } => self.stats.record(MK::LoadQuery),
             AppMsg::Invitation { .. } => self.stats.record(MK::Invitation),
             _ => {}
         }
@@ -666,7 +673,10 @@ impl EventNet {
             // timeout. Replies and bounces die silently — a `Nack` is
             // never Nacked, so bounces cannot loop between two corpses.
             if let Msg::App { from, req, app } = msg {
-                if matches!(app, AppMsg::LoadQuery | AppMsg::Invitation { .. }) {
+                if matches!(
+                    app,
+                    AppMsg::LoadQuery | AppMsg::LoadQueryAbout { .. } | AppMsg::Invitation { .. }
+                ) {
                     self.send(
                         dst,
                         from,
@@ -689,7 +699,7 @@ impl EventNet {
             Msg::App { from, req, app } => {
                 if let Some(node) = self.nodes.get_mut(&dst) {
                     match app {
-                        AppMsg::LoadQuery => node.queries_seen += 1,
+                        AppMsg::LoadQuery | AppMsg::LoadQueryAbout { .. } => node.queries_seen += 1,
                         AppMsg::Invitation { .. } => node.invites_seen += 1,
                         _ => {}
                     }

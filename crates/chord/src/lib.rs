@@ -42,6 +42,7 @@
 //! assert_eq!(res.owner, net.owner_of(sha1_id_of_u64(5)).unwrap());
 //! ```
 
+pub mod adversary;
 pub mod eventnet;
 pub mod fault;
 pub mod kv;
@@ -51,6 +52,7 @@ pub mod network;
 pub mod node;
 pub mod routing;
 
+pub use adversary::{AdversaryPlan, AdversaryState, LiePolicy};
 pub use eventnet::{AppEvent, AppMsg, AsyncLookup, EventConfig, EventNet};
 pub use fault::{CrashEvent, FaultPlan, FaultState, Partition};
 pub use messages::{MessageKind, MessageStats};

@@ -63,6 +63,9 @@ pub struct MessageStats {
     pub dropped: u64,
     /// Task keys permanently lost to crash-failures (no live replica).
     pub keys_lost: u64,
+    /// Load replies distorted by a Byzantine reporter (the reply itself
+    /// is already counted under `load_query`).
+    pub lied: u64,
 }
 
 impl MessageStats {
@@ -134,6 +137,7 @@ impl MessageStats {
         self.timeouts += other.timeouts;
         self.dropped += other.dropped;
         self.keys_lost += other.keys_lost;
+        self.lied += other.lied;
     }
 }
 
@@ -205,12 +209,14 @@ mod tests {
         b.retries = 1;
         b.timeouts = 4;
         b.keys_lost = 7;
+        b.lied = 5;
         b.record(MessageKind::Ping);
         a.merge(&b);
         assert_eq!(a.retries, 4);
         assert_eq!(a.timeouts, 4);
         assert_eq!(a.dropped, 2);
         assert_eq!(a.keys_lost, 7);
+        assert_eq!(a.lied, 5);
         assert_eq!(a.total(), 1, "only the ping is a message");
     }
 }

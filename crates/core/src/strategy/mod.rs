@@ -41,6 +41,7 @@
 //! we reproduce that behavior.
 
 pub mod churn;
+pub mod crosscheck;
 pub mod invitation;
 pub mod neighbor;
 pub mod oracle;
@@ -143,6 +144,21 @@ pub trait Actions {
     /// so the default is a no-op and substrates without telemetry
     /// ignore it.
     fn note_gap_split(&mut self, _pos: Id) {}
+    /// Asks `relay` what it believes `target`'s remaining task count
+    /// is (replica knowledge: successors carry each other's key
+    /// ranges). Costs one `LoadQuery` like a direct probe. The default
+    /// falls back to asking `target` directly, which is exact on
+    /// substrates without Byzantine reporters (the oracle ring).
+    fn query_load_via(&mut self, _relay: Id, target: Id) -> Result<u64, ActionError> {
+        self.query_load(target)
+    }
+    /// Telemetry hook: a cross-checking probe round about `target`
+    /// finished with `agreed` (reporters within tolerance) and the
+    /// robust `estimate`. No messages, no RNG; default no-op.
+    fn note_probe(&mut self, _target: Id, _agreed: bool, _estimate: u64) {}
+    /// Telemetry hook: `reporter` crossed the suspicion threshold and
+    /// is quarantined from now on. No messages, no RNG; default no-op.
+    fn note_quarantine(&mut self, _reporter: Id, _suspicion: u64) {}
 }
 
 /// Result of an [`Actions::invite`] call.

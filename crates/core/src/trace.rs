@@ -70,6 +70,39 @@ pub enum SimEvent {
         worker: WorkerId,
         pos: Id,
     },
+    /// Byzantine worker `worker` answered a load probe about vnode
+    /// `about` with the distorted value `reported` (adversary plane).
+    LoadLied {
+        tick: u64,
+        worker: WorkerId,
+        about: Id,
+        reported: u64,
+    },
+    /// A cross-checking probe round about `target` found every
+    /// reporter within tolerance of the `estimate`.
+    ProbeAgreed {
+        tick: u64,
+        worker: WorkerId,
+        target: Id,
+        estimate: u64,
+    },
+    /// A cross-checking probe round about `target` caught at least one
+    /// reporter conflicting with the `estimate`.
+    ProbeConflict {
+        tick: u64,
+        worker: WorkerId,
+        target: Id,
+        estimate: u64,
+    },
+    /// Reporter vnode `reporter` crossed the suspicion threshold
+    /// (`suspicion` booked conflicts) and is quarantined by `worker`'s
+    /// cross-checking defense.
+    Quarantined {
+        tick: u64,
+        worker: WorkerId,
+        reporter: Id,
+        suspicion: u64,
+    },
 }
 
 impl SimEvent {
@@ -85,7 +118,11 @@ impl SimEvent {
             | SimEvent::InvitationRefused { tick, .. }
             | SimEvent::InvitationHonored { tick, .. }
             | SimEvent::LoadQueried { tick, .. }
-            | SimEvent::NeighborGapSplit { tick, .. } => *tick,
+            | SimEvent::NeighborGapSplit { tick, .. }
+            | SimEvent::LoadLied { tick, .. }
+            | SimEvent::ProbeAgreed { tick, .. }
+            | SimEvent::ProbeConflict { tick, .. }
+            | SimEvent::Quarantined { tick, .. } => *tick,
         }
     }
 
@@ -101,7 +138,11 @@ impl SimEvent {
             | SimEvent::InvitationRefused { worker, .. }
             | SimEvent::InvitationHonored { worker, .. }
             | SimEvent::LoadQueried { worker, .. }
-            | SimEvent::NeighborGapSplit { worker, .. } => *worker,
+            | SimEvent::NeighborGapSplit { worker, .. }
+            | SimEvent::LoadLied { worker, .. }
+            | SimEvent::ProbeAgreed { worker, .. }
+            | SimEvent::ProbeConflict { worker, .. }
+            | SimEvent::Quarantined { worker, .. } => *worker,
         }
     }
 
@@ -161,6 +202,30 @@ impl SimEvent {
             SimEvent::NeighborGapSplit { worker, pos, .. } => {
                 ("neighbor_gap_split", *worker as u64, pos.to_hex(), 0)
             }
+            SimEvent::LoadLied {
+                worker,
+                about,
+                reported,
+                ..
+            } => ("lied", *worker as u64, about.to_hex(), *reported),
+            SimEvent::ProbeAgreed {
+                worker,
+                target,
+                estimate,
+                ..
+            } => ("probe_agree", *worker as u64, target.to_hex(), *estimate),
+            SimEvent::ProbeConflict {
+                worker,
+                target,
+                estimate,
+                ..
+            } => ("probe_conflict", *worker as u64, target.to_hex(), *estimate),
+            SimEvent::Quarantined {
+                worker,
+                reporter,
+                suspicion,
+                ..
+            } => ("quarantined", *worker as u64, reporter.to_hex(), *suspicion),
         }
     }
 }
@@ -289,6 +354,51 @@ mod tests {
             ("invitation_honored", 2, "w7".to_string(), 12)
         );
         assert_eq!(events[2].decision_fields().0, "neighbor_gap_split");
+    }
+
+    #[test]
+    fn adversary_vocabulary_encodes_stably() {
+        let events = [
+            SimEvent::LoadLied {
+                tick: 7,
+                worker: 3,
+                about: Id::from(5u64),
+                reported: 2,
+            },
+            SimEvent::ProbeAgreed {
+                tick: 8,
+                worker: 3,
+                target: Id::from(5u64),
+                estimate: 40,
+            },
+            SimEvent::ProbeConflict {
+                tick: 9,
+                worker: 3,
+                target: Id::from(5u64),
+                estimate: 40,
+            },
+            SimEvent::Quarantined {
+                tick: 10,
+                worker: 3,
+                reporter: Id::from(5u64),
+                suspicion: 3,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.tick(), 7 + i as u64);
+            assert_eq!(e.worker(), 3);
+        }
+        let hex = Id::from(5u64).to_hex();
+        assert_eq!(events[0].decision_fields(), ("lied", 3, hex.clone(), 2));
+        assert_eq!(
+            events[1].decision_fields(),
+            ("probe_agree", 3, hex.clone(), 40)
+        );
+        assert_eq!(
+            events[2].decision_fields(),
+            ("probe_conflict", 3, hex.clone(), 40)
+        );
+        assert_eq!(events[3].decision_fields(), ("quarantined", 3, hex, 3));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! targets: table1 table2 fig1 fig2_3 fig4_6 fig7_9 fig10 fig11_12
 //!          fig13_14 text_ri text_ni text_inv messages extensions
 //!          worktick timeseries chord_hops chord_churn
-//!          maintenance_cost async_latency resilience eventtime
-//!          trace
+//!          maintenance_cost async_latency resilience byzantine
+//!          eventtime trace
 //!                                                        (default: all)
 //!
 //! The `perf` target (never part of the default set) runs the pinned
@@ -24,6 +24,7 @@
 //! event logs; the `trace` target produces the full telemetry artifact
 //! set (JSONL dumps, span breakdowns, divergence diff, histograms).
 
+mod byzantine;
 mod chordx;
 mod common;
 mod eventcmp;
@@ -126,6 +127,9 @@ fn main() {
     }
     if args.wants("resilience") {
         resilience::resilience(&args);
+    }
+    if args.wants("byzantine") {
+        byzantine::byzantine(&args);
     }
     if args.wants("eventtime") {
         eventcmp::eventtime(&args);

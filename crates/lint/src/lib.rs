@@ -481,6 +481,7 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
         "crates/chord/src/network.rs"
             | "crates/chord/src/eventnet.rs"
             | "crates/chord/src/fault.rs"
+            | "crates/chord/src/adversary.rs"
             | "src/event_sim.rs"
     ) {
         rules.push(Rule::PanicSafety);
@@ -821,6 +822,22 @@ mod tests {
         assert_eq!(
             rules_for("src/event_sim.rs"),
             vec![Rule::Determinism, Rule::PanicSafety, Rule::OutputDiscipline]
+        );
+        // The adversary module injects faults too: held to panic-safety
+        // like the rest of the fault plane.
+        assert_eq!(
+            rules_for("crates/chord/src/adversary.rs"),
+            vec![Rule::Determinism, Rule::PanicSafety, Rule::OutputDiscipline]
+        );
+        // The cross-check decorator is a strategy-surface citizen: rule
+        // S keeps it off substrate internals.
+        assert_eq!(
+            rules_for("crates/core/src/strategy/crosscheck.rs"),
+            vec![
+                Rule::Determinism,
+                Rule::StrategyLocality,
+                Rule::OutputDiscipline
+            ]
         );
     }
 }

@@ -47,10 +47,12 @@
 //! Under real latency, divergence is the measurement, not a bug.
 
 use autobal_chord::{
-    AppEvent, AppMsg, AsyncLookup, EventConfig, EventNet, MessageStats, Network, NetworkError,
+    AdversaryState, AppEvent, AppMsg, AsyncLookup, EventConfig, EventNet, MessageStats, Network,
+    NetworkError,
 };
 use autobal_core::strategy::{
     churn::BackgroundChurn,
+    crosscheck::wrap_if_enabled,
     invitation::{pick_helper, HelperCandidate},
     strategy_for, ActionError, Actions, ChurnOps, InviteOutcome, LocalView, Strategy,
     StrategyParams, StrategyStack, Substrate,
@@ -209,6 +211,10 @@ struct EventSubstrate {
     tasks_lost: u64,
     workers_crashed: u64,
     crash_retirement: bool,
+    /// Armed Byzantine adversary: decides per owner whether a load
+    /// reply is distorted. Stateless at query time, so the same reply
+    /// lies identically here and on the synchronous shim.
+    adversary: AdversaryState,
     tasks_done: Vec<u64>,
     lookup_latencies: Vec<u64>,
     lookup_timeouts: u64,
@@ -253,6 +259,33 @@ impl EventSubstrate {
         }
     }
 
+    /// The load value vnode `reporter` actually puts on the wire: the
+    /// truth unless its owner is Byzantine, in which case the distorted
+    /// value is billed to the wire's `lied` meta-counter and recorded
+    /// as a `lied` decision — at *serve* time, exactly when the
+    /// synchronous shim would record it, so degenerate decision streams
+    /// stay bit-for-bit comparable. `about` is the vnode the answer
+    /// describes (the reporter itself for direct probes).
+    fn reported_load(&mut self, reporter: Id, about: Id, true_load: u64) -> u64 {
+        let tick = self.tick;
+        let lie = self
+            .owner_of
+            .get(&reporter)
+            .copied()
+            .and_then(|o| self.adversary.lie(o, true_load, tick).map(|l| (o, l)));
+        let Some((owner, reported)) = lie else {
+            return true_load;
+        };
+        self.wire.stats.lied += 1;
+        self.emit_event(SimEvent::LoadLied {
+            tick,
+            worker: owner,
+            about,
+            reported,
+        });
+        reported
+    }
+
     /// Files a timer that surfaced mid-drain: `CHECK`/`POSTCHECK`/
     /// `TICK` tokens are deferred for the driver; stale probe
     /// deadlines (their probe already resolved) are discarded.
@@ -268,7 +301,20 @@ impl EventSubstrate {
         match msg {
             AppMsg::LoadQuery => {
                 let reply = match self.net.node(at).map(|n| n.keys.len() as u64) {
-                    Some(load) => AppMsg::LoadReply { load },
+                    Some(true_load) => AppMsg::LoadReply {
+                        load: self.reported_load(at, at, true_load),
+                    },
+                    None => AppMsg::Nack,
+                };
+                self.wire.reply_app(at, from, req, reply);
+            }
+            AppMsg::LoadQueryAbout { target } => {
+                // The relay answers from its replica knowledge of the
+                // target's key range; a Byzantine *relay* distorts it.
+                let reply = match self.net.node(target).map(|n| n.keys.len() as u64) {
+                    Some(true_load) => AppMsg::LoadReply {
+                        load: self.reported_load(at, target, true_load),
+                    },
                     None => AppMsg::Nack,
                 };
                 self.wire.reply_app(at, from, req, reply);
@@ -780,6 +826,97 @@ impl Actions for EventNodeCtx<'_> {
         }
     }
 
+    /// The relayed cross-checking probe: an [`AppMsg::LoadQueryAbout`]
+    /// round trip to `relay`, asking about `target`. Same blocking
+    /// drain as the direct probe, but no `LoadQueried` decision — the
+    /// round-level `note_probe` records the cross-checked outcome.
+    fn query_load_via(&mut self, relay: Id, target: Id) -> Result<u64, ActionError> {
+        let tick = self.sub.tick;
+        let primary = self.primary();
+        let req = self
+            .sub
+            .wire
+            .send_app(primary, relay, AppMsg::LoadQueryAbout { target });
+        let deadline = token(TAG_PROBE, req);
+        let at = self.sub.wire.now() + self.sub.probe_timeout;
+        self.sub.wire.schedule_app_timer(at, deadline);
+        loop {
+            let Some(ev) = self.sub.wire.run_until_app(u64::MAX) else {
+                self.sub
+                    .trace
+                    .message(tick, "load_query", MessageStatus::TimedOut, 0);
+                return Err(ActionError::TimedOut);
+            };
+            match ev {
+                AppEvent::Timer { token: t } if t == deadline => {
+                    self.sub
+                        .trace
+                        .message(tick, "load_query", MessageStatus::TimedOut, 0);
+                    return Err(ActionError::TimedOut);
+                }
+                AppEvent::Timer { token: t } => self.sub.defer_timer(t),
+                AppEvent::Msg {
+                    req: r,
+                    msg: AppMsg::LoadReply { load },
+                    ..
+                } if r == req => {
+                    self.sub
+                        .trace
+                        .message(tick, "load_query", MessageStatus::Delivered, 0);
+                    return Ok(load);
+                }
+                AppEvent::Msg {
+                    req: r,
+                    msg: AppMsg::Nack,
+                    ..
+                } if r == req => {
+                    self.sub
+                        .trace
+                        .message(tick, "load_query", MessageStatus::Unreachable, 0);
+                    return Err(ActionError::Unreachable);
+                }
+                AppEvent::Msg {
+                    at,
+                    from,
+                    req: r,
+                    msg,
+                } => self.sub.serve_if_request(at, from, r, msg),
+                AppEvent::LookupDone(_) => {}
+            }
+        }
+    }
+
+    fn note_probe(&mut self, target: Id, agreed: bool, estimate: u64) {
+        let tick = self.sub.tick;
+        let worker = self.worker;
+        self.sub.emit_event(if agreed {
+            SimEvent::ProbeAgreed {
+                tick,
+                worker,
+                target,
+                estimate,
+            }
+        } else {
+            SimEvent::ProbeConflict {
+                tick,
+                worker,
+                target,
+                estimate,
+            }
+        });
+    }
+
+    fn note_quarantine(&mut self, reporter: Id, suspicion: u64) {
+        let tick = self.sub.tick;
+        let worker = self.worker;
+        self.sub.emit_event(SimEvent::Quarantined {
+            tick,
+            worker,
+            reporter,
+            suspicion,
+        });
+    }
+
     fn random_id(&mut self) -> Id {
         Id::random(&mut self.sub.rng_strategy)
     }
@@ -1043,7 +1180,9 @@ fn run_event_inner(
         }));
     }
     if let Some(s) = strategy_for(cfg.proto.strategy) {
-        stack.push(s);
+        // Cross-checking is a transparent decorator: with the default
+        // (disabled) config this returns `s` untouched.
+        stack.push(wrap_if_enabled(s, &cfg.proto.cross_check));
     }
 
     let degenerate = cfg.event.latency == 0 && !cfg.proto.fault.is_active();
@@ -1079,6 +1218,7 @@ fn run_event_inner(
         tasks_lost: 0,
         workers_crashed: 0,
         crash_retirement: cfg.proto.crash_retirement,
+        adversary: AdversaryState::new(cfg.proto.adversary.clone(), cfg.proto.nodes),
         tasks_done: vec![0; slots],
         lookup_latencies: Vec::new(),
         lookup_timeouts: 0,
@@ -1470,5 +1610,76 @@ mod tests {
             "finger refreshes and joins complete on the wire"
         );
         assert!(res.lookup_latencies.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn byzantine_lies_are_billed_to_the_wire() {
+        use autobal_chord::{AdversaryPlan, LiePolicy};
+        // Lies are applied when the reply is served, ride the real
+        // LoadReply back, and are mirrored one-for-one by LoadLied
+        // events on a lossless wire.
+        let res = run_event_sim(
+            &EventSimConfig {
+                proto: ProtocolSimConfig {
+                    record_events: true,
+                    adversary: AdversaryPlan::lying(7, 0.25, LiePolicy::OverReport),
+                    ..small(StrategyKind::SmartNeighbor).proto
+                },
+                ..small(StrategyKind::SmartNeighbor)
+            },
+            12,
+        );
+        assert!(res.completed);
+        assert!(res.wire.lied > 0, "some probe was answered by a liar");
+        let lied_events = res
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::LoadLied { .. }))
+            .count() as u64;
+        assert_eq!(lied_events, res.wire.lied);
+        // Lies distort replies that were sent anyway: the meta-counter
+        // stays out of the wire total.
+        assert!(res.wire.total() >= res.wire.load_query);
+    }
+
+    #[test]
+    fn degenerate_parity_holds_under_active_adversary_and_cross_check() {
+        use autobal_chord::{AdversaryPlan, LiePolicy};
+        use autobal_core::strategy::crosscheck::CrossCheckConfig;
+        // The tentpole pin, hostile edition: with 25% liars AND the
+        // cross-checking defense on, zero latency must still replay the
+        // synchronous substrate bit-for-bit — lies are a pure function
+        // of (worker, true load, tick) and relays are picked
+        // deterministically, so nothing depends on wall-clock order.
+        for kind in [StrategyKind::SmartNeighbor, StrategyKind::Invitation] {
+            let mut cfg = degenerate(kind);
+            cfg.proto.record_events = true;
+            cfg.proto.adversary = AdversaryPlan::lying(7, 0.25, LiePolicy::OverReport);
+            cfg.proto.cross_check = CrossCheckConfig::with_budget(2);
+            let proto = run_protocol_sim(&cfg.proto, 13);
+            let event = run_event_sim(&cfg, 13);
+            assert_eq!(proto.ticks, event.ticks, "{kind:?}: tick counts differ");
+            assert_eq!(
+                proto.events.events(),
+                event.events.events(),
+                "{kind:?}: decision streams differ under adversary"
+            );
+            // Satellite pin: probes and lied replies bill the tick shim
+            // and the event wire identically.
+            assert_eq!(
+                proto.messages.load_query, event.wire.load_query,
+                "{kind:?}: probe bills diverge"
+            );
+            assert_eq!(
+                proto.messages.lied, event.wire.lied,
+                "{kind:?}: lie meta-counters diverge"
+            );
+            if kind == StrategyKind::SmartNeighbor {
+                // Invitation steers by announcements, not load probes,
+                // so only the probing strategy actually meets the liars.
+                assert!(proto.messages.lied > 0, "the adversary was live");
+            }
+        }
     }
 }

@@ -19,9 +19,13 @@
 //! If the paper's effect survives on this substrate, the oracle-ring
 //! shortcut is justified.
 
-use autobal_chord::{FaultPlan, MessageKind, MessageStats, NetConfig, Network, NetworkError};
+use autobal_chord::{
+    AdversaryPlan, AdversaryState, FaultPlan, MessageKind, MessageStats, NetConfig, Network,
+    NetworkError,
+};
 use autobal_core::strategy::{
     churn::BackgroundChurn,
+    crosscheck::{wrap_if_enabled, CrossCheckConfig},
     invitation::{pick_helper, HelperCandidate},
     strategy_for, ActionError, Actions, ChurnOps, InviteOutcome, LocalView, Strategy,
     StrategyParams, StrategyStack, Substrate,
@@ -78,6 +82,12 @@ pub struct ProtocolSimConfig {
     /// (`Network::leave`): the Sybil process just exits, and its keys
     /// survive only through replication.
     pub crash_retirement: bool,
+    /// Byzantine adversary plan: which fraction of the initial workers
+    /// answer load probes dishonestly, and how. Inert by default.
+    pub adversary: AdversaryPlan,
+    /// Cross-checking probe defense wrapped around the Sybil strategy
+    /// (see `autobal_core::strategy::crosscheck`). Disabled by default.
+    pub cross_check: CrossCheckConfig,
 }
 
 impl Default for ProtocolSimConfig {
@@ -103,6 +113,8 @@ impl Default for ProtocolSimConfig {
             fault: FaultPlan::default(),
             crash_rate: 0.0,
             crash_retirement: false,
+            adversary: AdversaryPlan::default(),
+            cross_check: CrossCheckConfig::default(),
         }
     }
 }
@@ -179,6 +191,9 @@ struct ChordSubstrate {
     tasks_lost: u64,
     workers_crashed: u64,
     crash_retirement: bool,
+    /// Armed Byzantine adversary: decides per owner whether a load
+    /// reply is distorted. Stateless at query time.
+    adversary: AdversaryState,
     events: EventLog,
     /// Span-structured flight recorder; free when disabled.
     trace: Trace,
@@ -203,6 +218,31 @@ impl ChordSubstrate {
             .filter_map(|v| self.net.node(v))
             .map(|n| n.keys.len() as u64)
             .sum()
+    }
+
+    /// The load value vnode `reporter` actually answers with: the truth
+    /// unless its owner is Byzantine, in which case the distorted value
+    /// is billed to the `lied` meta-counter and recorded as a `lied`
+    /// decision. `about` is the vnode the answer describes (the
+    /// reporter itself for direct probes, the probe target for relays).
+    fn reported_load(&mut self, reporter: Id, about: Id, true_load: u64) -> u64 {
+        let tick = self.tick;
+        let lie = self
+            .owner_of
+            .get(&reporter)
+            .copied()
+            .and_then(|o| self.adversary.lie(o, true_load, tick).map(|l| (o, l)));
+        let Some((owner, reported)) = lie else {
+            return true_load;
+        };
+        self.net.stats.lied += 1;
+        self.emit_event(SimEvent::LoadLied {
+            tick,
+            worker: owner,
+            about,
+            reported,
+        });
+        reported
     }
 
     fn worker_can_spawn(&self, w: usize) -> bool {
@@ -512,11 +552,13 @@ impl Actions for ChordNodeCtx<'_> {
             return Err(ActionError::TimedOut);
         }
         match self.sub.net.node(neighbor).map(|n| n.keys.len() as u64) {
-            Some(load) => {
+            Some(true_load) => {
                 self.sub
                     .trace
                     .message(tick, "load_query", MessageStatus::Delivered, 0);
                 let worker = self.worker;
+                // The querier only ever sees what the neighbor *says*.
+                let load = self.sub.reported_load(neighbor, neighbor, true_load);
                 self.sub.emit_event(SimEvent::LoadQueried {
                     tick,
                     worker,
@@ -534,6 +576,73 @@ impl Actions for ChordNodeCtx<'_> {
                 Err(ActionError::Unreachable)
             }
         }
+    }
+
+    /// A relayed cross-checking probe: ask `relay` what it believes
+    /// `target` holds (successors replicate each other's key ranges, so
+    /// the relay can answer from its replica knowledge). Billed exactly
+    /// like a direct probe; distorted iff the *relay*'s owner is
+    /// Byzantine. Emits no `LoadQueried` decision — the round-level
+    /// `note_probe` records the cross-checked outcome instead.
+    fn query_load_via(&mut self, relay: Id, target: Id) -> Result<u64, ActionError> {
+        let tick = self.sub.tick;
+        if !self.sub.net.try_message(MessageKind::LoadQuery) {
+            self.sub
+                .trace
+                .message(tick, "load_query", MessageStatus::TimedOut, 0);
+            return Err(ActionError::TimedOut);
+        }
+        if self.sub.net.node(relay).is_none() {
+            self.sub
+                .trace
+                .message(tick, "load_query", MessageStatus::Unreachable, 0);
+            return Err(ActionError::Unreachable);
+        }
+        match self.sub.net.node(target).map(|n| n.keys.len() as u64) {
+            Some(true_load) => {
+                self.sub
+                    .trace
+                    .message(tick, "load_query", MessageStatus::Delivered, 0);
+                Ok(self.sub.reported_load(relay, target, true_load))
+            }
+            None => {
+                self.sub
+                    .trace
+                    .message(tick, "load_query", MessageStatus::Unreachable, 0);
+                Err(ActionError::Unreachable)
+            }
+        }
+    }
+
+    fn note_probe(&mut self, target: Id, agreed: bool, estimate: u64) {
+        let tick = self.sub.tick;
+        let worker = self.worker;
+        self.sub.emit_event(if agreed {
+            SimEvent::ProbeAgreed {
+                tick,
+                worker,
+                target,
+                estimate,
+            }
+        } else {
+            SimEvent::ProbeConflict {
+                tick,
+                worker,
+                target,
+                estimate,
+            }
+        });
+    }
+
+    fn note_quarantine(&mut self, reporter: Id, suspicion: u64) {
+        let tick = self.sub.tick;
+        let worker = self.worker;
+        self.sub.emit_event(SimEvent::Quarantined {
+            tick,
+            worker,
+            reporter,
+            suspicion,
+        });
     }
 
     fn random_id(&mut self) -> Id {
@@ -738,7 +847,9 @@ fn run_inner(
         }));
     }
     if let Some(s) = strategy_for(cfg.strategy) {
-        stack.push(s);
+        // Cross-checking is a transparent decorator: with the default
+        // (disabled) config this returns `s` untouched.
+        stack.push(wrap_if_enabled(s, &cfg.cross_check));
     }
 
     let mut sub = ChordSubstrate {
@@ -765,6 +876,7 @@ fn run_inner(
         tasks_lost: 0,
         workers_crashed: 0,
         crash_retirement: cfg.crash_retirement,
+        adversary: AdversaryState::new(cfg.adversary.clone(), cfg.nodes),
         events: EventLog::new(cfg.record_events),
         trace: {
             let mut trace = Trace::new(cfg.record_trace);
@@ -1231,5 +1343,130 @@ mod tests {
         // Tracing must not perturb the run itself.
         assert_eq!(a.ticks, off.ticks);
         assert_eq!(a.messages, off.messages);
+    }
+
+    #[test]
+    fn inert_adversary_plan_changes_nothing_on_the_protocol() {
+        use autobal_chord::LiePolicy;
+        // Non-tautological inert pin: a zero-fraction plan with a
+        // non-default seed/policy/gain, plus a disabled (k = 0)
+        // cross-check with non-default knobs, must not perturb a
+        // single counter or decision relative to the plain default.
+        let base = ProtocolSimConfig {
+            record_events: true,
+            ..small(StrategyKind::SmartNeighbor)
+        };
+        let a = run_protocol_sim(&base, 19);
+        let b = run_protocol_sim(
+            &ProtocolSimConfig {
+                adversary: AdversaryPlan {
+                    seed: 99,
+                    fraction: 0.0,
+                    policy: LiePolicy::OverReport,
+                    gain: 9,
+                },
+                cross_check: CrossCheckConfig {
+                    k: 0,
+                    tolerance: 0.9,
+                    quarantine_after: 1,
+                },
+                ..base.clone()
+            },
+            19,
+        );
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.events.events(), b.events.events());
+        assert_eq!(a.sybils_created, b.sybils_created);
+        assert_eq!(b.messages.lied, 0);
+    }
+
+    #[test]
+    fn byzantine_liars_distort_protocol_probes() {
+        use autobal_chord::LiePolicy;
+        // 25% over-reporting liars: smart-neighbor probes must see the
+        // distorted loads (billed on the `lied` meta-counter, mirrored
+        // one-for-one by `LoadLied` events) and reach different
+        // decisions than the clean run.
+        let clean = run_protocol_sim(
+            &ProtocolSimConfig {
+                record_events: true,
+                ..small(StrategyKind::SmartNeighbor)
+            },
+            20,
+        );
+        let lied = run_protocol_sim(
+            &ProtocolSimConfig {
+                record_events: true,
+                adversary: AdversaryPlan::lying(7, 0.25, LiePolicy::OverReport),
+                ..small(StrategyKind::SmartNeighbor)
+            },
+            20,
+        );
+        assert!(lied.completed, "liars slow the run down, not break it");
+        assert!(lied.messages.lied > 0, "some probe hit a liar");
+        let lied_events = lied
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::LoadLied { .. }))
+            .count() as u64;
+        assert_eq!(lied_events, lied.messages.lied);
+        assert_ne!(
+            clean.events.events(),
+            lied.events.events(),
+            "distorted reports must change the decision stream"
+        );
+    }
+
+    #[test]
+    fn cross_checking_bills_probes_and_quarantines_liars() {
+        use autobal_chord::LiePolicy;
+        // Over-reporting by gain 4 always conflicts with an honest
+        // median (|4L+4 − L| > 0.5·max(L,1) for every L), so every
+        // cross-checked probe round about a liar books suspicion and
+        // the third one quarantines it.
+        let plan = AdversaryPlan::lying(7, 0.25, LiePolicy::OverReport);
+        let undefended = run_protocol_sim(
+            &ProtocolSimConfig {
+                record_events: true,
+                adversary: plan.clone(),
+                ..small(StrategyKind::SmartNeighbor)
+            },
+            21,
+        );
+        let defended = run_protocol_sim(
+            &ProtocolSimConfig {
+                record_events: true,
+                adversary: plan,
+                cross_check: CrossCheckConfig::with_budget(2),
+                ..small(StrategyKind::SmartNeighbor)
+            },
+            21,
+        );
+        assert!(defended.completed);
+        assert!(
+            defended.messages.load_query > undefended.messages.load_query,
+            "redundant probes must be billed as real load queries"
+        );
+        let conflicts = defended
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::ProbeConflict { .. }))
+            .count() as u64;
+        let mut quarantined = 0u64;
+        for e in defended.events.events() {
+            if let SimEvent::Quarantined { suspicion, .. } = e {
+                quarantined += 1;
+                assert!(*suspicion >= 3, "quarantine fires at the threshold");
+            }
+        }
+        assert!(conflicts > 0, "liars were caught in the act");
+        assert!(quarantined > 0, "repeat offenders got quarantined");
+        assert!(
+            conflicts >= quarantined * 3,
+            "each quarantine needs at least `quarantine_after` conflicts"
+        );
     }
 }

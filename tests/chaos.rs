@@ -324,6 +324,142 @@ fn protocol_run_survives_a_partition_window() {
     assert_eq!(res.tasks_lost, 0, "partitions delay, they do not destroy");
 }
 
+/// Maps a proptest index onto a lying policy (proptest can't derive
+/// strategies for foreign enums without a feature gate).
+fn policy_for(i: u8) -> autobal::chord::LiePolicy {
+    use autobal::chord::LiePolicy;
+    match i % 4 {
+        0 => LiePolicy::UnderReport,
+        1 => LiePolicy::OverReport,
+        2 => LiePolicy::RandomNoise,
+        _ => LiePolicy::FlipFlop,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The Byzantine plane composed with the fault plane: liars plus
+    /// randomized loss, a partition window, and scheduled crashes never
+    /// panic, never destroy a task silently, and keep the billing
+    /// planes in agreement — with and without the cross-check defense.
+    #[test]
+    fn byzantine_chaos_conserves_tasks(
+        seed in any::<u64>(),
+        fraction_pct in 0u32..=40,
+        policy_ix in any::<u8>(),
+        k in 0usize..=2,
+        loss_pct in 0u32..=15,
+        partitioned in any::<bool>(),
+        crashes in 0u32..=3,
+    ) {
+        use autobal::chord::AdversaryPlan;
+        use autobal_core::strategy::crosscheck::CrossCheckConfig;
+        let tasks = 800u64;
+        let cfg = ProtocolSimConfig {
+            nodes: 24,
+            tasks,
+            strategy: StrategyKind::SmartNeighbor,
+            adversary: AdversaryPlan::lying(
+                seed,
+                fraction_pct as f64 / 100.0,
+                policy_for(policy_ix),
+            ),
+            cross_check: CrossCheckConfig::with_budget(k),
+            fault: FaultPlan {
+                seed,
+                loss_rate: loss_pct as f64 / 100.0,
+                partitions: if partitioned {
+                    vec![Partition { start: 10, end: 25 }]
+                } else {
+                    Vec::new()
+                },
+                crashes: if crashes > 0 {
+                    vec![CrashEvent { at: 5, count: crashes }]
+                } else {
+                    Vec::new()
+                },
+                ..FaultPlan::default()
+            },
+            ..ProtocolSimConfig::default()
+        };
+        let res = run_protocol_sim(&cfg, seed ^ 0xB12);
+        prop_assert!(res.completed, "liars slow runs down, they must not wedge them");
+        // Completed run ⇒ nothing is left in flight; conservation says
+        // every task was consumed or billed as lost (handoff redo can
+        // over-count, never under-count).
+        let done: u64 = res.tasks_done.iter().sum();
+        prop_assert!(
+            done + res.tasks_lost >= tasks,
+            "tasks vanished: done {} + lost {} < {}",
+            done, res.tasks_lost, tasks
+        );
+        prop_assert_eq!(
+            res.tasks_lost, res.messages.keys_lost,
+            "substrate and network billing disagree"
+        );
+        if !cfg.adversary.is_active() {
+            prop_assert_eq!(res.messages.lied, 0, "nobody lies in an honest run");
+        }
+    }
+}
+
+/// Claim 2 with the adversary live: liar selection, the lie function,
+/// and the cross-check defense all avoid wall-clock and thread-local
+/// state, so hostile runs replay bit-identically across rayon thread
+/// counts on both substrates.
+#[test]
+fn byzantine_runs_replay_identically_across_thread_counts() {
+    use autobal::chord::{AdversaryPlan, LiePolicy};
+    use autobal_core::strategy::crosscheck::CrossCheckConfig;
+    let proto_cfg = ProtocolSimConfig {
+        nodes: 24,
+        tasks: 1_200,
+        strategy: StrategyKind::SmartNeighbor,
+        adversary: AdversaryPlan::lying(99, 0.25, LiePolicy::FlipFlop),
+        cross_check: CrossCheckConfig::with_budget(2),
+        fault: FaultPlan::lossy(99, 0.05),
+        record_events: true,
+        ..ProtocolSimConfig::default()
+    };
+    let run_proto = |threads: usize| {
+        let cfg = proto_cfg.clone();
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(move || run_protocol_sim(&cfg, 5))
+    };
+    let a = run_proto(1);
+    let b = run_proto(8);
+    assert_eq!(a.ticks, b.ticks);
+    assert_eq!(a.messages, b.messages, "lie and probe bills diverged");
+    assert!(a.messages.lied > 0, "the adversary actually fired");
+    assert_eq!(a.events.events(), b.events.events());
+
+    let run_event = |threads: usize| {
+        let cfg = EventSimConfig {
+            proto: proto_cfg.clone(),
+            event: EventConfig {
+                latency: 20,
+                ..EventConfig::default()
+            },
+            ..EventSimConfig::default()
+        };
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(move || run_event_sim(&cfg, 5))
+    };
+    let c = run_event(1);
+    let d = run_event(8);
+    assert_eq!(c.time, d.time, "event clocks diverged");
+    assert_eq!(c.wire, d.wire, "wire bills diverged");
+    assert!(c.wire.lied > 0, "liars answered on the wire too");
+    assert_eq!(c.events.events(), d.events.events());
+}
+
 /// Scheduled crash events from the plan (rather than `crash_rate`)
 /// drive the same machinery: explicit timing, explicit victims count.
 #[test]

@@ -248,3 +248,53 @@ fn substrates_agree_on_the_outcome_too() {
         sum[0]
     );
 }
+
+#[test]
+fn adversary_and_probe_bills_match_across_substrates() {
+    // Satellite pin for the Byzantine plane: cross-checked probes and
+    // lied responses must bump `MessageStats` identically whether they
+    // ride the synchronous tick shim or the event wire. Run the same
+    // hostile config on both substrates at zero latency and compare the
+    // decision stream, the `load_query` bill, and the `lied`
+    // meta-counter field-for-field.
+    use autobal::event_sim::{run_event_sim, EventSimConfig};
+    use autobal::protocol_sim::run_protocol_sim;
+    use autobal_chord::{AdversaryPlan, EventConfig, LiePolicy};
+    use autobal_core::strategy::crosscheck::CrossCheckConfig;
+
+    let proto_cfg = ProtocolSimConfig {
+        nodes: NODES,
+        tasks: TASKS,
+        strategy: StrategyKind::SmartNeighbor,
+        record_events: true,
+        adversary: AdversaryPlan::lying(SEED, 0.25, LiePolicy::OverReport),
+        cross_check: CrossCheckConfig::with_budget(2),
+        ..ProtocolSimConfig::default()
+    };
+    let event_cfg = EventSimConfig {
+        proto: proto_cfg.clone(),
+        event: EventConfig {
+            latency: 0,
+            ..EventConfig::default()
+        },
+        ..EventSimConfig::default()
+    };
+
+    let proto = run_protocol_sim(&proto_cfg, SEED);
+    let event = run_event_sim(&event_cfg, SEED);
+
+    assert!(proto.completed && event.completed);
+    assert!(proto.messages.lied > 0, "the adversary actually fired");
+    assert_eq!(
+        proto.events.events(),
+        event.events.events(),
+        "decision streams diverged under the adversary"
+    );
+    // The parity that matters for accounting: every probe (direct or
+    // relayed) and every distorted reply is billed once on each plane.
+    assert_eq!(proto.messages.load_query, event.wire.load_query);
+    assert_eq!(proto.messages.lied, event.wire.lied);
+    // The synchronous counters stay off the event substrate's network
+    // plane — strategy traffic lives on the wire there.
+    assert_eq!(event.messages.load_query, 0);
+}

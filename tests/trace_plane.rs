@@ -7,7 +7,7 @@
 
 use autobal::chord::EventConfig;
 use autobal::event_sim::{run_event_sim, run_event_sim_with_placement, EventSimConfig};
-use autobal::protocol_sim::{run_protocol_sim_with_placement, ProtocolSimConfig};
+use autobal::protocol_sim::{run_protocol_sim, run_protocol_sim_with_placement, ProtocolSimConfig};
 use autobal::sim::{Sim, SimConfig, StrategyKind};
 use autobal::stats::rng::{domains, substream, DetRng};
 use autobal::Id;
@@ -226,6 +226,72 @@ fn golden_event_trace_pins_the_wire_schema() {
         records.first().map(|r| &r.body),
         Some(TraceBody::RunStart { substrate, .. }) if substrate == "event"
     ));
+    assert!(matches!(
+        records.last().map(|r| &r.body),
+        Some(TraceBody::RunEnd { completed: true })
+    ));
+}
+
+#[test]
+fn golden_byzantine_trace_pins_the_adversary_vocabulary() {
+    // Third golden fixture: a small pinned run with Byzantine reporters
+    // AND the cross-checking defense live, committed at
+    // `tests/data/golden_byzantine_trace.jsonl`. It pins the adversary
+    // telemetry vocabulary — `lied`, `probe_agree`, `probe_conflict`,
+    // `quarantined` — on the wire, so any drift in lie application
+    // order, relay selection, or suspicion bookkeeping moves these
+    // bytes. Regenerate deliberately with:
+    //     UPDATE_GOLDEN=1 cargo test --test trace_plane golden
+    use autobal::chord::{AdversaryPlan, LiePolicy};
+    use autobal_core::strategy::crosscheck::CrossCheckConfig;
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_byzantine_trace.jsonl");
+    let fresh = {
+        let res = run_protocol_sim(
+            &ProtocolSimConfig {
+                nodes: 8,
+                tasks: 120,
+                strategy: StrategyKind::SmartNeighbor,
+                check_interval: 1,
+                record_trace: true,
+                // Over-reporting by gain 4 always trips the tolerance
+                // check against an honest median, so the fixture is
+                // guaranteed to exercise conflicts and quarantines.
+                adversary: AdversaryPlan::lying(0x601D, 0.3, LiePolicy::OverReport),
+                cross_check: CrossCheckConfig::with_budget(2),
+                ..ProtocolSimConfig::default()
+            },
+            0x601D,
+        );
+        to_jsonl(res.trace.records())
+    };
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &fresh).expect("write golden");
+    }
+    let committed = std::fs::read_to_string(&path).expect("golden fixture committed");
+    assert_eq!(
+        fresh, committed,
+        "byzantine trace drifted from the golden fixture; \
+         regenerate with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+
+    validate_jsonl(&committed).expect("golden validates");
+    let records = parse_jsonl(&committed).expect("golden parses");
+    check_framing(&records).expect("golden is well-framed");
+    // The fixture must actually exercise the new vocabulary.
+    let decisions: Vec<&str> = records
+        .iter()
+        .filter_map(|r| match &r.body {
+            TraceBody::Decision { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for name in ["lied", "probe_conflict", "quarantined"] {
+        assert!(
+            decisions.contains(&name),
+            "fixture never recorded a `{name}` decision"
+        );
+    }
     assert!(matches!(
         records.last().map(|r| &r.body),
         Some(TraceBody::RunEnd { completed: true })
