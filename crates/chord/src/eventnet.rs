@@ -915,8 +915,7 @@ impl EventNet {
                     if let Some(node) = self.nodes.get_mut(&dst) {
                         node.next_finger = (k + 1) % ID_BITS as usize;
                     }
-                    let req = self.start_lookup_from(dst, target);
-                    let _ = req;
+                    self.start_lookup_from(dst, target);
                 }
                 // Re-arm the timer.
                 let at = self.time + self.cfg.stabilize_every;

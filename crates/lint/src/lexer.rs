@@ -1,0 +1,555 @@
+//! A small dependency-free Rust lexer.
+//!
+//! Produces a flat token stream with line numbers preserved — the
+//! substrate every rule family operates on. Comments disappear from
+//! the stream entirely (annotation comments are re-read from the raw
+//! lines by the allow-audit machinery), string and char literals
+//! become single tokens carrying their content, and the usual lexical
+//! traps are handled: nested block comments, raw (and byte) strings
+//! with any number of `#`s, escapes, and the char-literal vs. lifetime
+//! ambiguity. This is what kills the false-positive classes of the old
+//! line scanner — a `HashMap` inside a string or a `.unwrap()` split
+//! across lines cannot confuse a token stream.
+//!
+//! The lexer is deliberately not a validator: malformed input degrades
+//! to best-effort tokens, never a panic (the lint holds itself to its
+//! own panic-safety rule).
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `_`).
+    Ident,
+    /// Lifetime (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// String literal (normal, raw, byte); `text` is the content
+    /// without quotes/hashes, escapes left undecoded.
+    Str,
+    /// Char literal; `text` is the content without quotes.
+    Char,
+    /// Numeric literal (`text` keeps the exact spelling, so `1.5`
+    /// and `1e-3` are recognizably floats).
+    Num,
+    /// Punctuation. Multi-char operators that matter to the rules are
+    /// fused: `::`, `=>`, `->`, `..=`, `..`; everything else is one
+    /// char per token.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-indexed source line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Cursor over the source characters; all access is bounds-checked so
+/// a truncated file cannot panic the lexer.
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+}
+
+impl Cursor {
+    fn at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(ch) = c {
+            if ch == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        c
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unknown bytes become
+/// single-char `Punct` tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+    };
+    let mut toks: Vec<Tok> = Vec::new();
+    while let Some(c) = cur.at(0) {
+        let line = cur.line;
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Line comments (//, ///, //!): skip to end of line.
+        if c == '/' && cur.at(1) == Some('/') {
+            while let Some(ch) = cur.at(0) {
+                if ch == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        // Block comments, nested.
+        if c == '/' && cur.at(1) == Some('*') {
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.at(0), cur.at(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump_n(2);
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump_n(2);
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // Raw / byte / raw-byte strings: r"..", r#".."#, br".., b"..".
+        if (c == 'r' || c == 'b') && !prev_is_ident(&toks, &cur) {
+            if let Some(tok) = lex_raw_or_byte_string(&mut cur) {
+                toks.push(tok);
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            toks.push(lex_string(&mut cur));
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            toks.push(lex_char_or_lifetime(&mut cur));
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            toks.push(lex_number(&mut cur));
+            continue;
+        }
+        // Identifiers / keywords (including raw identifiers r#name,
+        // which reach here only via the raw-string probe failing).
+        if ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.at(0) {
+                if !ident_char(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Fused multi-char punctuation the rules care about.
+        let fused = match (c, cur.at(1), cur.at(2)) {
+            (':', Some(':'), _) => Some("::"),
+            ('=', Some('>'), _) => Some("=>"),
+            ('-', Some('>'), _) => Some("->"),
+            ('.', Some('.'), Some('=')) => Some("..="),
+            ('.', Some('.'), _) => Some(".."),
+            _ => None,
+        };
+        if let Some(op) = fused {
+            cur.bump_n(op.chars().count());
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: op.to_string(),
+                line,
+            });
+            continue;
+        }
+        cur.bump();
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    toks
+}
+
+/// True when the character before the cursor belongs to an identifier —
+/// then a leading `r`/`b` is the tail of that identifier, not a string
+/// prefix. (The previous token check is not enough: `br` is two chars.)
+fn prev_is_ident(_toks: &[Tok], cur: &Cursor) -> bool {
+    cur.i
+        .checked_sub(1)
+        .and_then(|p| cur.chars.get(p).copied())
+        .is_some_and(ident_char)
+}
+
+/// Tries to lex `r".."`/`r#".."#`/`b".."`/`br#".."#` at the cursor.
+/// Returns `None` (consuming nothing) when this is not a string start.
+fn lex_raw_or_byte_string(cur: &mut Cursor) -> Option<Tok> {
+    let line = cur.line;
+    let mut off = 0usize;
+    if cur.at(off) == Some('b') {
+        off += 1;
+    }
+    let raw = cur.at(off) == Some('r');
+    if raw {
+        off += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while cur.at(off) == Some('#') {
+            hashes += 1;
+            off += 1;
+        }
+    }
+    if cur.at(off) != Some('"') {
+        return None;
+    }
+    if !raw && hashes > 0 {
+        return None;
+    }
+    cur.bump_n(off + 1);
+    let mut text = String::new();
+    if raw {
+        loop {
+            match cur.at(0) {
+                None => break,
+                Some('"') => {
+                    let closes = (1..=hashes).all(|k| cur.at(k) == Some('#'));
+                    if closes {
+                        cur.bump_n(1 + hashes);
+                        break;
+                    }
+                    text.push('"');
+                    cur.bump();
+                }
+                Some(ch) => {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+        }
+    } else {
+        consume_escaped_until(cur, &mut text, '"');
+    }
+    Some(Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+    })
+}
+
+fn lex_string(cur: &mut Cursor) -> Tok {
+    let line = cur.line;
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    consume_escaped_until(cur, &mut text, '"');
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Consumes up to and including an unescaped `close`, appending the
+/// content (escapes kept verbatim) to `text`.
+fn consume_escaped_until(cur: &mut Cursor, text: &mut String, close: char) {
+    loop {
+        match cur.at(0) {
+            None => break,
+            Some('\\') => {
+                text.push('\\');
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            Some(ch) if ch == close => {
+                cur.bump();
+                break;
+            }
+            Some(ch) => {
+                text.push(ch);
+                cur.bump();
+            }
+        }
+    }
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor) -> Tok {
+    let line = cur.line;
+    // 'x' / '\n' are char literals; 'a (no closing quote in reach) is
+    // a lifetime. A lifetime label is ident chars only, so seeing a
+    // closing quote right after one-or-more ident chars decides it.
+    if cur.at(1) == Some('\\') {
+        cur.bump(); // quote
+        let mut text = String::new();
+        consume_escaped_until(cur, &mut text, '\'');
+        return Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+        };
+    }
+    // Non-escape: char literal iff the char after next is the closing
+    // quote (covers 'x'; multi-char like 'ab' is not valid Rust).
+    if cur.at(2) == Some('\'') && cur.at(1) != Some('\'') {
+        cur.bump();
+        let text = cur.bump().map(String::from).unwrap_or_default();
+        cur.bump();
+        return Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+        };
+    }
+    // Lifetime.
+    cur.bump(); // quote
+    let mut text = String::new();
+    while let Some(ch) = cur.at(0) {
+        if !ident_char(ch) {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Lifetime,
+        text,
+        line,
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Tok {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(ch) = cur.at(0) {
+        if ident_char(ch) {
+            text.push(ch);
+            cur.bump();
+            continue;
+        }
+        // A single dot followed by a digit continues a float; `1..n`
+        // and `1.method()` must not swallow the dot.
+        if ch == '.' && !text.contains('.') && cur.at(1).is_some_and(|d| d.is_ascii_digit()) {
+            text.push('.');
+            cur.bump();
+            continue;
+        }
+        break;
+    }
+    Tok {
+        kind: TokKind::Num,
+        text,
+        line,
+    }
+}
+
+/// Marks which 1-indexed lines sit inside `#[cfg(test)]`-gated items
+/// (the attribute line through the closing brace, or through the `;`
+/// of an out-of-line `mod tests;`). Returns a mask sized to
+/// `line_count` where `mask[line - 1]` is true for exempt lines.
+pub fn test_mask(toks: &[Tok], line_count: usize) -> Vec<bool> {
+    let mut mask = vec![false; line_count];
+    let mut depth: i64 = 0;
+    // (attribute start line, depth the guarded block opened at).
+    let mut active: Option<(usize, i64)> = None;
+    let mut pending_start: Option<usize> = None;
+    let mut idx = 0usize;
+    fn mark(from: usize, to: usize, mask: &mut [bool]) {
+        for l in from..=to {
+            if let Some(slot) = l.checked_sub(1).and_then(|z| mask.get_mut(z)) {
+                *slot = true;
+            }
+        }
+    }
+    while let Some(tok) = toks.get(idx) {
+        // Detect the exact attribute token run `# [ cfg ( test ) ]`.
+        if active.is_none() && pending_start.is_none() && tok.is_punct("#") {
+            let window: Vec<&str> = toks
+                .iter()
+                .skip(idx + 1)
+                .take(6)
+                .map(|t| t.text.as_str())
+                .collect();
+            if window == ["[", "cfg", "(", "test", ")", "]"] {
+                pending_start = Some(tok.line);
+                idx += 7;
+                continue;
+            }
+        }
+        match tok.text.as_str() {
+            "{" if tok.kind == TokKind::Punct => {
+                if let Some(start) = pending_start.take() {
+                    active = Some((start, depth));
+                }
+                depth += 1;
+            }
+            "}" if tok.kind == TokKind::Punct => {
+                depth -= 1;
+                if let Some((start, open_depth)) = active {
+                    if open_depth == depth {
+                        mark(start, tok.line, &mut mask);
+                        active = None;
+                    }
+                }
+            }
+            ";" if tok.kind == TokKind::Punct && active.is_none() => {
+                // `#[cfg(test)] mod tests;` — only the declaration.
+                if let Some(start) = pending_start.take() {
+                    mark(start, tok.line, &mut mask);
+                }
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+    // An unclosed guarded block (truncated file) masks to the end.
+    if let Some((start, _)) = active {
+        mark(start, line_count, &mut mask);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_leave_the_stream() {
+        let toks = lex("let a = \"thread_rng\"; // thread_rng\nlet b = 1;");
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "thread_rng"));
+        let strs: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "thread_rng");
+        assert_eq!(toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = lex("let r = r#\"HashMap \" inner\"#; let c = '\\n'; let l: &'static str = x;");
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("HashMap")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("inner")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner HashMap */ still */ let x = 1;");
+        assert!(!toks.iter().any(|t| t.text.contains("HashMap")));
+        assert!(toks.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = lex("let a = b\"bytes\"; let b = br#\"raw bytes\"#; let brr = 1;");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2,
+            "{toks:?}"
+        );
+        // `brr` is an identifier, not a byte-raw-string prefix.
+        assert!(toks.iter().any(|t| t.is_ident("brr")));
+    }
+
+    #[test]
+    fn fused_punct_and_numbers() {
+        assert_eq!(
+            texts("a::b => c -> 1..n 2..=3 4.5"),
+            vec!["a", "::", "b", "=>", "c", "->", "1", "..", "n", "2", "..=", "3", "4.5"]
+        );
+    }
+
+    #[test]
+    fn float_spellings_stay_single_tokens() {
+        let toks = lex("1.5 + 2e-3 + x.method()");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "2e"));
+        assert!(toks.iter().any(|t| t.is_punct(".")));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_the_block() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let toks = lex(src);
+        let mask = test_mask(&toks, src.lines().count());
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_mask_out_of_line_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests;\nfn c() {}\n";
+        let toks = lex(src);
+        let mask = test_mask(&toks, src.lines().count());
+        assert_eq!(mask, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn truncated_input_never_panics() {
+        for src in [
+            "\"unclosed",
+            "r#\"unclosed",
+            "'",
+            "/* unclosed",
+            "b\"x",
+            "1.",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

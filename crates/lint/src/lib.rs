@@ -3,55 +3,70 @@
 //! The repo's load-bearing contracts are enforced at runtime by
 //! `tests/determinism.rs`, `tests/strategy_parity.rs`, and the chaos
 //! suite — but a runtime test only catches a violation when a seed
-//! happens to expose it. This crate machine-checks the contracts at the
-//! source level, before any seed gets a vote:
+//! happens to expose it. This crate machine-checks the contracts at
+//! the source level, before any seed gets a vote. Since v2 it is a
+//! real (if small) analyzer: a dependency-free Rust lexer
+//! ([`lexer`]) feeds an item-level parser ([`parser`]) that builds a
+//! workspace model ([`model`]) — per-crate module trees plus the
+//! cross-crate import graph — and eight rule families run over that
+//! model ([`rules`]):
 //!
 //! * **D — determinism** (`determinism`): no `thread_rng`, no
 //!   entropy-seeded RNGs, no wall-clock (`SystemTime` / `Instant`), and
 //!   no unordered containers (`HashMap` / `HashSet`) in the decision
 //!   paths of `autobal-core`, `autobal-chord`, `autobal-workload`,
-//!   `autobal-experiments`, and the root crate. Deterministic runs must
-//!   draw all randomness from seeded ChaCha streams, all time from the
-//!   simulated clock, and all iteration from ordered containers.
+//!   `autobal-experiments`, and the root crate.
 //! * **P — panic-safety** (`panic-safety`): no `unwrap()` / `expect()` /
 //!   `panic!` / slice-indexing in the `autobal-chord` message-delivery
-//!   and retry paths (`network.rs`, `eventnet.rs`, `fault.rs`) and the
-//!   event-time substrate (`src/event_sim.rs`), whose blocking drains
-//!   sit directly on those paths. The fault plane guarantees those
-//!   paths are fallible; they must return `NetworkError` /
-//!   `ActionError` and degrade, not crash.
+//!   and retry paths (`network.rs`, `eventnet.rs`, `fault.rs`,
+//!   `adversary.rs`) and the event-time substrate (`src/event_sim.rs`).
 //! * **S — strategy locality** (`strategy-locality`): strategy modules
 //!   under `crates/core/src/strategy/` may only see the
-//!   `LocalView` / `Actions` / `Substrate` surface — never
-//!   `autobal_chord` internals, the global simulator (`crate::sim`),
-//!   the global ring (`crate::ring`), or the omniscient `OracleView`
-//!   (`oracle.rs` carries an explicit, audited exemption). This
-//!   mechanizes the paper's claim that every strategy is fully
-//!   decentralized.
-//! * **O — output discipline** (`output-discipline`): library code in
-//!   `autobal-core`, `autobal-chord`, `autobal-workload`,
-//!   `autobal-telemetry`, and the root crate may not write to
-//!   stdout/stderr directly (`println!` / `eprintln!` / `print!` /
-//!   `eprint!`). Observability flows through the telemetry plane and
-//!   returned artifacts; the two CLI mains (`autobal-cli`,
-//!   `autobal-trace`) are audited output endpoints and carry explicit
-//!   exemptions on their print helpers.
+//!   `LocalView` / `Actions` / `Substrate` surface — never Chord
+//!   internals, the global simulator/ring, or the omniscient
+//!   `OracleView` (`oracle.rs` carries audited exemptions).
+//! * **O — output discipline** (`output-discipline`): library code may
+//!   not write to stdout/stderr directly; the two CLI mains are audited
+//!   output endpoints.
+//! * **L — layering** (`layering`): every cross-crate import in the
+//!   observed import graph must be an edge of the pinned crate-layer
+//!   DAG ([`model::LAYERS`]); no cycles, no upward imports.
+//! * **E — error-path discipline** (`error-path`): no `let _ =` /
+//!   trailing `.ok();` discards and no wildcard arms in
+//!   `ActionError`/`NetworkError` matches in the delivery, retry,
+//!   fault, and adversary paths.
+//! * **F — float-order determinism** (`float-order`): no
+//!   schedule-ordered reductions over rayon parallel iterators, no
+//!   `partial_cmp` comparators (use `f64::total_cmp`).
+//! * **T — telemetry vocabulary** (`telemetry-vocab`): every
+//!   `SimEvent` variant has an emit site; decision names and
+//!   `MessageStatus`/`TraceBody` variants are covered by the trace
+//!   summary, the validate schema, and the golden-schema fixture.
 //!
 //! Findings are suppressible only via an audited annotation — a plain
-//! line comment on the offending line or the line directly above it:
+//! line comment on the offending line or standing alone on the line
+//! directly above it:
 //!
 //! ```text
 //! autobal-lint: allow(<rule>, "<reason>")
 //! ```
 //!
 //! Each annotation suppresses exactly one finding; an annotation that
-//! suppresses nothing is itself reported (`unused-allow`), as is one
-//! that does not parse (`malformed-allow`). Test code (`#[cfg(test)]`
-//! modules and the `tests/` trees) is exempt from D/P/S: assertions may
-//! unwrap and iterate however they like.
+//! suppresses nothing is itself reported (`unused-allow`) — including
+//! one stranded inside a `#[cfg(test)]` region, where the rules do not
+//! apply and there is never anything to suppress — as is one that does
+//! not parse (`malformed-allow`). Test code is exempt from every rule
+//! family: assertions may unwrap and iterate however they like.
+
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod rules;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub use rules::rules_for;
 
 /// The rule families (plus the two meta-diagnostics that keep the
 /// annotation escape hatch honest).
@@ -65,12 +80,66 @@ pub enum Rule {
     StrategyLocality,
     /// O: no direct stdout/stderr writes in library code.
     OutputDiscipline,
+    /// L: cross-crate imports follow the pinned layer DAG.
+    Layering,
+    /// E: no silent Result discards, no wildcard error arms.
+    ErrorPath,
+    /// F: no schedule-ordered float reductions or partial comparators.
+    FloatOrder,
+    /// T: emitted telemetry vocabulary stays in sync with its
+    /// consumers and the golden schema.
+    TelemetryVocab,
     /// An `allow` annotation that suppressed no finding.
     UnusedAllow,
     /// An `autobal-lint:` marker that does not parse as
     /// `allow(<rule>, "<reason>")`.
     MalformedAllow,
 }
+
+/// Every rule family in diagnostic order, with one-line descriptions —
+/// the single source for `--list-rules` and the docs table.
+pub const RULES: &[(Rule, &str)] = &[
+    (
+        Rule::Determinism,
+        "no ambient randomness, wall-clock, or unordered containers in decision paths",
+    ),
+    (
+        Rule::PanicSafety,
+        "no unwrap/expect/panic!/indexing in message-delivery and retry paths",
+    ),
+    (
+        Rule::StrategyLocality,
+        "strategies import only the LocalView/Actions/Substrate surface",
+    ),
+    (
+        Rule::OutputDiscipline,
+        "no direct stdout/stderr writes in library code",
+    ),
+    (
+        Rule::Layering,
+        "cross-crate imports follow the pinned crate-layer DAG, acyclic",
+    ),
+    (
+        Rule::ErrorPath,
+        "no silent Result discards or wildcard error-match arms in fault paths",
+    ),
+    (
+        Rule::FloatOrder,
+        "no schedule-ordered float reductions; total_cmp instead of partial_cmp",
+    ),
+    (
+        Rule::TelemetryVocab,
+        "emitted SimEvent/Decision/Message vocabulary covered by summary, schema, and fixture",
+    ),
+    (
+        Rule::UnusedAllow,
+        "meta: an allow annotation that suppressed nothing",
+    ),
+    (
+        Rule::MalformedAllow,
+        "meta: an autobal-lint marker that does not parse",
+    ),
+];
 
 impl Rule {
     /// The identifier used inside `allow(...)` annotations and printed
@@ -81,19 +150,38 @@ impl Rule {
             Rule::PanicSafety => "panic-safety",
             Rule::StrategyLocality => "strategy-locality",
             Rule::OutputDiscipline => "output-discipline",
+            Rule::Layering => "layering",
+            Rule::ErrorPath => "error-path",
+            Rule::FloatOrder => "float-order",
+            Rule::TelemetryVocab => "telemetry-vocab",
             Rule::UnusedAllow => "unused-allow",
             Rule::MalformedAllow => "malformed-allow",
         }
     }
 
-    /// Parses an annotation rule identifier.
+    /// Parses an annotation rule identifier (suppressible rules only —
+    /// the meta-diagnostics cannot be allowed away).
     pub fn from_id(s: &str) -> Option<Rule> {
         match s {
             "determinism" => Some(Rule::Determinism),
             "panic-safety" => Some(Rule::PanicSafety),
             "strategy-locality" => Some(Rule::StrategyLocality),
             "output-discipline" => Some(Rule::OutputDiscipline),
+            "layering" => Some(Rule::Layering),
+            "error-path" => Some(Rule::ErrorPath),
+            "float-order" => Some(Rule::FloatOrder),
+            "telemetry-vocab" => Some(Rule::TelemetryVocab),
             _ => None,
+        }
+    }
+
+    /// Parses any rule identifier, meta-diagnostics included (for
+    /// `--rule` filtering).
+    pub fn from_id_any(s: &str) -> Option<Rule> {
+        match s {
+            "unused-allow" => Some(Rule::UnusedAllow),
+            "malformed-allow" => Some(Rule::MalformedAllow),
+            other => Rule::from_id(other),
         }
     }
 }
@@ -120,191 +208,17 @@ impl fmt::Display for Finding {
     }
 }
 
-fn is_ident(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Blanks comments and string/char-literal contents while preserving
-/// the line structure, so pattern matching only ever sees code.
-///
-/// Handles line comments, nested block comments, escaped string
-/// literals, raw (and byte) strings with any number of `#`s, and the
-/// char-literal vs. lifetime ambiguity.
-pub fn strip_code(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let n = b.len();
-    let mut out = String::with_capacity(src.len());
-    // Pushes a blanked char, preserving newlines.
-    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
-    let mut i = 0;
-    while i < n {
-        let c = b[i];
-        if c == '/' && i + 1 < n && b[i + 1] == '/' {
-            while i < n && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-            continue;
-        }
-        if c == '/' && i + 1 < n && b[i + 1] == '*' {
-            let mut depth = 1;
-            out.push_str("  ");
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                    depth += 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                    depth -= 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    blank(&mut out, b[i]);
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw / raw-byte strings: r"...", r#"..."#, br"...", etc.
-        if (c == 'r' || c == 'b') && (i == 0 || !is_ident(b[i - 1])) {
-            let mut j = i;
-            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
-                j += 1;
-            }
-            if b[j] == 'r' {
-                let mut k = j + 1;
-                let mut hashes = 0;
-                while k < n && b[k] == '#' {
-                    hashes += 1;
-                    k += 1;
-                }
-                if k < n && b[k] == '"' {
-                    for _ in i..=k {
-                        out.push(' ');
-                    }
-                    i = k + 1;
-                    while i < n {
-                        if b[i] == '"'
-                            && (i + hashes < n)
-                            && b[i + 1..].iter().take(hashes).all(|&h| h == '#')
-                        {
-                            for _ in 0..=hashes {
-                                out.push(' ');
-                            }
-                            i += 1 + hashes;
-                            break;
-                        }
-                        blank(&mut out, b[i]);
-                        i += 1;
-                    }
-                    continue;
-                }
-            }
-        }
-        if c == '"' {
-            out.push(' ');
-            i += 1;
-            while i < n {
-                if b[i] == '\\' && i + 1 < n {
-                    blank(&mut out, b[i]);
-                    blank(&mut out, b[i + 1]);
-                    i += 2;
-                    continue;
-                }
-                let closed = b[i] == '"';
-                blank(&mut out, b[i]);
-                i += 1;
-                if closed {
-                    break;
-                }
-            }
-            continue;
-        }
-        if c == '\'' {
-            // 'x' or '\n' is a char literal; 'a (no closing quote within
-            // reach) is a lifetime and stays in the code text.
-            if i + 1 < n && b[i + 1] == '\\' {
-                out.push(' ');
-                i += 1;
-                while i < n && b[i] != '\'' {
-                    if b[i] == '\\' && i + 1 < n {
-                        blank(&mut out, b[i]);
-                        blank(&mut out, b[i + 1]);
-                        i += 2;
-                    } else {
-                        blank(&mut out, b[i]);
-                        i += 1;
-                    }
-                }
-                if i < n {
-                    out.push(' ');
-                    i += 1;
-                }
-                continue;
-            }
-            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
-                out.push_str("   ");
-                i += 3;
-                continue;
-            }
-            out.push('\'');
-            i += 1;
-            continue;
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
-}
-
-/// Marks which lines (1-indexed offset 0) sit inside `#[cfg(test)]`
-/// blocks. Operates on stripped code so strings cannot fake the
-/// attribute.
-pub fn test_mask(stripped: &str) -> Vec<bool> {
-    let lines: Vec<&str> = stripped.lines().collect();
-    let mut mask = vec![false; lines.len()];
-    let mut depth: i64 = 0;
-    let mut pending = false;
-    let mut skip_from: Option<i64> = None;
-    for (li, line) in lines.iter().enumerate() {
-        if pending || skip_from.is_some() {
-            mask[li] = true;
-        }
-        if skip_from.is_none() && line.contains("#[cfg(test)]") {
-            pending = true;
-            mask[li] = true;
-        }
-        for ch in line.chars() {
-            match ch {
-                '{' => {
-                    if pending && skip_from.is_none() {
-                        skip_from = Some(depth);
-                        pending = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if skip_from == Some(depth) {
-                        skip_from = None;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    mask
-}
-
 /// A parsed `allow(<rule>, "<reason>")` annotation comment.
 #[derive(Debug, Clone)]
 struct Allow {
     line: usize, // 1-indexed
     rule: Rule,
-    /// The stripped code on this line is blank: the annotation stands
-    /// alone and therefore guards the *next* line.
+    /// No code tokens share this line: the annotation stands alone and
+    /// therefore guards the *next* line.
     standalone: bool,
+    /// The annotation sits inside a `#[cfg(test)]` region, where the
+    /// rules do not apply — it can never suppress anything.
+    in_test_code: bool,
     used: bool,
 }
 
@@ -315,38 +229,33 @@ const MARKER: &str = "autobal-lint:";
 /// annotation). Returns the offset just past the marker.
 fn marker_in_comment(line: &str) -> Option<usize> {
     let mut search = 0;
-    while let Some(p) = line[search..].find("//") {
+    while let Some(p) = line.get(search..).and_then(|s| s.find("//")) {
         let at = search + p;
-        let after = line[at + 2..].chars().next();
+        let after = line.get(at + 2..).and_then(|s| s.chars().next());
         if after != Some('/') && after != Some('!') {
-            return line[at..].find(MARKER).map(|m| at + m + MARKER.len());
+            return line
+                .get(at..)
+                .and_then(|s| s.find(MARKER))
+                .map(|m| at + m + MARKER.len());
         }
         search = at + 2;
     }
     None
 }
 
-/// Extracts allow annotations (and malformed-marker findings) from the
-/// raw source. Annotations inside `#[cfg(test)]` blocks are ignored —
-/// test code is exempt from the rules, so it has nothing to suppress.
-fn parse_allows(
-    file: &Path,
-    raw: &str,
-    stripped: &str,
-    mask: &[bool],
-) -> (Vec<Allow>, Vec<Finding>) {
+/// Extracts allow annotations (and malformed-marker findings) from one
+/// file's raw source. Annotations inside `#[cfg(test)]` regions are
+/// kept but tagged: they are guaranteed-unused and reported as such.
+fn parse_allows(file: &model::FileModel, raw: &str) -> (Vec<Allow>, Vec<Finding>) {
     let mut allows = Vec::new();
     let mut bad = Vec::new();
-    let code_lines: Vec<&str> = stripped.lines().collect();
+    let token_lines: std::collections::BTreeSet<usize> = file.toks.iter().map(|t| t.line).collect();
     for (idx, line) in raw.lines().enumerate() {
-        if mask.get(idx).copied().unwrap_or(false) {
-            continue;
-        }
         let Some(pos) = marker_in_comment(line) else {
             continue;
         };
         let lineno = idx + 1;
-        let rest = line[pos..].trim_start();
+        let rest = line.get(pos..).unwrap_or("").trim_start();
         let parsed = (|| -> Result<Rule, String> {
             let rest = rest
                 .strip_prefix("allow(")
@@ -371,312 +280,114 @@ fn parse_allows(
             }
             Ok(rule)
         })();
+        let in_test_code = file.masked(lineno);
         match parsed {
             Ok(rule) => allows.push(Allow {
                 line: lineno,
                 rule,
-                standalone: code_lines.get(idx).copied().unwrap_or("").trim().is_empty(),
+                standalone: !token_lines.contains(&lineno),
+                in_test_code,
                 used: false,
             }),
-            Err(why) => bad.push(Finding {
-                file: file.to_path_buf(),
+            Err(why) if !in_test_code => bad.push(Finding {
+                file: PathBuf::from(&file.rel),
                 line: lineno,
                 rule: Rule::MalformedAllow,
                 message: format!("unparseable autobal-lint annotation: {why}"),
             }),
+            Err(_) => {}
         }
     }
     (allows, bad)
 }
 
-/// Returns true when `word` occurs in `line` delimited by non-identifier
-/// characters.
-fn has_word(line: &str, word: &str) -> bool {
-    let mut start = 0;
-    while let Some(p) = line[start..].find(word) {
-        let at = start + p;
-        let before_ok = at == 0 || !is_ident(line[..at].chars().next_back().unwrap_or(' '));
-        let after = line[at + word.len()..].chars().next();
-        let after_ok = !after.is_some_and(is_ident);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + word.len();
-    }
-    false
-}
-
-/// Detects `.unwrap` / `.expect` method calls (word-delimited, so
-/// `unwrap_or` and friends do not match).
-fn has_method(line: &str, name: &str) -> bool {
-    let needle = format!(".{name}");
-    let mut start = 0;
-    while let Some(p) = line[start..].find(&needle) {
-        let at = start + p;
-        let after = line[at + needle.len()..].chars().next();
-        if !after.is_some_and(is_ident) {
-            return true;
-        }
-        start = at + needle.len();
-    }
-    false
-}
-
-/// Keywords that may directly precede a `[` without it being an index
-/// expression (`for x in [..]`, `return [..]`, `let [a, b] = ..`).
-const NON_INDEX_KEYWORDS: &[&str] = &[
-    "as", "break", "continue", "else", "in", "let", "match", "mut", "ref", "return", "static",
-    "true", "false", "yield", "move", "box", "dyn", "while", "if",
-];
-
-/// Detects index expressions: a `[` directly preceded by an identifier,
-/// `)`, `]`, or `?` is an indexing operation (and can panic);
-/// `#[attr]`, `vec![...]`, types `[T; N]`, `for x in [..]`, and slice
-/// patterns after keywords are not.
-fn has_index_expr(line: &str) -> bool {
-    let mut prev = ' '; // last non-whitespace char
-    let mut token = String::new(); // identifier token `prev` belongs to
-    let mut in_token = false;
-    for c in line.chars() {
-        if c == '[' {
-            let indexes = if is_ident(prev) {
-                !NON_INDEX_KEYWORDS.contains(&token.as_str())
-            } else {
-                prev == ')' || prev == ']' || prev == '?'
-            };
-            if indexes {
-                return true;
-            }
-        }
-        if is_ident(c) {
-            if !in_token {
-                token.clear();
-                in_token = true;
-            }
-            token.push(c);
-        } else {
-            in_token = false;
-        }
-        if !c.is_whitespace() {
-            prev = c;
+/// Applies one file's allow annotations to its findings: each
+/// annotation suppresses at most one finding of its rule on its own
+/// line (or, standing alone, on the next line); leftovers become
+/// `unused-allow` findings.
+fn apply_allows(rel: &str, mut allows: Vec<Allow>, findings: Vec<Finding>) -> Vec<Finding> {
+    let mut kept = Vec::new();
+    for finding in findings {
+        let slot = allows.iter_mut().find(|a| {
+            !a.used
+                && !a.in_test_code
+                && a.rule == finding.rule
+                && (a.line == finding.line || (a.standalone && a.line + 1 == finding.line))
+        });
+        match slot {
+            Some(a) => a.used = true,
+            None => kept.push(finding),
         }
     }
-    false
-}
-
-/// Which rule families apply to a workspace-relative path (forward
-/// slashes, no leading `./`).
-pub fn rules_for(rel: &str) -> Vec<Rule> {
-    let mut rules = Vec::new();
-    let in_determinism_scope = rel.starts_with("crates/core/src/")
-        || rel.starts_with("crates/chord/src/")
-        || rel.starts_with("crates/workload/src/")
-        || rel.starts_with("crates/experiments/src/")
-        || rel.starts_with("src/");
-    if in_determinism_scope {
-        rules.push(Rule::Determinism);
-    }
-    if matches!(
-        rel,
-        "crates/chord/src/network.rs"
-            | "crates/chord/src/eventnet.rs"
-            | "crates/chord/src/fault.rs"
-            | "crates/chord/src/adversary.rs"
-            | "src/event_sim.rs"
-    ) {
-        rules.push(Rule::PanicSafety);
-    }
-    // `mod.rs` *defines* the strategy surface (including `OracleView`),
-    // so only the concrete strategy modules are held to locality.
-    if rel.starts_with("crates/core/src/strategy/") && !rel.ends_with("/mod.rs") {
-        rules.push(Rule::StrategyLocality);
-    }
-    // Library crates never print; `autobal-experiments` and the lint
-    // binary itself are reporting tools, out of scope by design. The
-    // CLI mains live inside these trees and carry audited exemptions.
-    let in_output_scope = rel.starts_with("crates/core/src/")
-        || rel.starts_with("crates/chord/src/")
-        || rel.starts_with("crates/workload/src/")
-        || rel.starts_with("crates/telemetry/src/")
-        || rel.starts_with("src/");
-    if in_output_scope {
-        rules.push(Rule::OutputDiscipline);
-    }
-    rules
-}
-
-/// One pattern of a rule family: matcher + diagnostic.
-struct Check {
-    rule: Rule,
-    matches: fn(&str) -> bool,
-    message: &'static str,
-}
-
-fn checks() -> Vec<Check> {
-    vec![
-        // ---- D: determinism ------------------------------------------
-        Check {
-            rule: Rule::Determinism,
-            matches: |l| has_word(l, "thread_rng"),
-            message: "thread_rng is nondeterministic; draw from a seeded ChaCha stream",
-        },
-        Check {
-            rule: Rule::Determinism,
-            matches: |l| has_word(l, "from_entropy"),
-            message: "entropy-seeded RNG is nondeterministic; use seed_from_u64 on a pinned seed",
-        },
-        Check {
-            rule: Rule::Determinism,
-            matches: |l| has_word(l, "SystemTime"),
-            message: "wall-clock time in a deterministic path; use the simulated clock",
-        },
-        Check {
-            rule: Rule::Determinism,
-            matches: |l| has_word(l, "Instant"),
-            message: "wall-clock time in a deterministic path; use the simulated clock",
-        },
-        Check {
-            rule: Rule::Determinism,
-            matches: |l| has_word(l, "HashMap"),
-            message:
-                "HashMap iteration order is unstable; use BTreeMap or explicitly sorted iteration",
-        },
-        Check {
-            rule: Rule::Determinism,
-            matches: |l| has_word(l, "HashSet"),
-            message:
-                "HashSet iteration order is unstable; use BTreeSet or explicitly sorted iteration",
-        },
-        // ---- P: panic-safety -----------------------------------------
-        Check {
-            rule: Rule::PanicSafety,
-            matches: |l| has_method(l, "unwrap"),
-            message: "unwrap() in a message-delivery/retry path; return an error or degrade",
-        },
-        Check {
-            rule: Rule::PanicSafety,
-            matches: |l| has_method(l, "expect"),
-            message: "expect() in a message-delivery/retry path; return an error or degrade",
-        },
-        Check {
-            rule: Rule::PanicSafety,
-            matches: |l| has_word(l, "panic!") || l.contains("panic!("),
-            message: "panic! in a message-delivery/retry path; return an error or degrade",
-        },
-        Check {
-            rule: Rule::PanicSafety,
-            matches: |l| l.contains("unreachable!("),
-            message: "unreachable! in a message-delivery/retry path; return an error or degrade",
-        },
-        Check {
-            rule: Rule::PanicSafety,
-            matches: has_index_expr,
-            message: "slice/map indexing can panic under faults; use get()/get_mut()",
-        },
-        // ---- S: strategy locality ------------------------------------
-        Check {
-            rule: Rule::StrategyLocality,
-            matches: |l| has_word(l, "autobal_chord"),
-            message: "strategy reaches into Chord internals; strategies see only LocalView/Actions",
-        },
-        Check {
-            rule: Rule::StrategyLocality,
-            matches: |l| l.contains("crate::sim"),
-            message: "strategy touches the global simulator; strategies see only LocalView/Actions",
-        },
-        Check {
-            rule: Rule::StrategyLocality,
-            matches: |l| l.contains("crate::ring"),
-            message: "strategy touches global ring state; strategies see only LocalView/Actions",
-        },
-        Check {
-            rule: Rule::StrategyLocality,
-            matches: |l| l.contains("crate::trace") || l.contains("crate::metrics"),
-            message: "strategy touches global observability state; use the Actions surface",
-        },
-        Check {
-            rule: Rule::StrategyLocality,
-            matches: |l| has_word(l, "OracleView"),
-            message:
-                "OracleView is the omniscient surface; decentralized strategies must not see it",
-        },
-        // ---- O: output discipline ------------------------------------
-        Check {
-            rule: Rule::OutputDiscipline,
-            matches: |l| has_word(l, "println"),
-            message: "println! in library code; record telemetry or return the text instead",
-        },
-        Check {
-            rule: Rule::OutputDiscipline,
-            matches: |l| has_word(l, "eprintln"),
-            message: "eprintln! in library code; record telemetry or return the text instead",
-        },
-        Check {
-            rule: Rule::OutputDiscipline,
-            matches: |l| has_word(l, "print"),
-            message: "print! in library code; record telemetry or return the text instead",
-        },
-        Check {
-            rule: Rule::OutputDiscipline,
-            matches: |l| has_word(l, "eprint"),
-            message: "eprint! in library code; record telemetry or return the text instead",
-        },
-    ]
-}
-
-/// Scans one file's source, applying the rules `rules_for(rel)` selects.
-/// `rel` is the workspace-relative path used in diagnostics.
-pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
-    let file = PathBuf::from(rel);
-    let active = rules_for(rel);
-    let stripped = strip_code(src);
-    let mask = test_mask(&stripped);
-    let (mut allows, mut findings) = parse_allows(&file, src, &stripped, &mask);
-    let all_checks = checks();
-
-    for (idx, line) in stripped.lines().enumerate() {
-        let lineno = idx + 1;
-        if mask.get(idx).copied().unwrap_or(false) {
-            continue;
-        }
-        for check in all_checks.iter().filter(|c| active.contains(&c.rule)) {
-            if !(check.matches)(line) {
-                continue;
-            }
-            // An annotation on this line, or standing alone on the line
-            // above, suppresses exactly one finding of its rule.
-            let suppressed = allows.iter_mut().find(|a| {
-                !a.used
-                    && a.rule == check.rule
-                    && (a.line == lineno || (a.standalone && a.line + 1 == lineno))
-            });
-            if let Some(a) = suppressed {
-                a.used = true;
-                continue;
-            }
-            findings.push(Finding {
-                file: file.clone(),
-                line: lineno,
-                rule: check.rule,
-                message: check.message.to_string(),
-            });
-        }
-    }
-
     for a in allows.iter().filter(|a| !a.used) {
-        findings.push(Finding {
-            file: file.clone(),
-            line: a.line,
-            rule: Rule::UnusedAllow,
-            message: format!(
+        let message = if a.in_test_code {
+            format!(
+                "allow({}) sits inside #[cfg(test)] code, where the rules do not apply; \
+                 remove the annotation",
+                a.rule.id()
+            )
+        } else {
+            format!(
                 "allow({}) suppressed nothing; remove the annotation",
                 a.rule.id()
-            ),
+            )
+        };
+        kept.push(Finding {
+            file: PathBuf::from(rel),
+            line: a.line,
+            rule: Rule::UnusedAllow,
+            message,
         });
     }
+    kept
+}
 
-    findings.sort_by_key(|f| (f.line, f.rule));
-    findings
+/// Scans a set of `(workspace-relative path, contents)` inputs as one
+/// workspace. Non-`.rs` paths become model resources (the golden
+/// schema fixture). This is the core entry point — `scan_source` and
+/// `scan_workspace` are wrappers.
+pub fn scan_files(inputs: &[(String, String)]) -> Vec<Finding> {
+    let ws = model::Workspace::build(inputs);
+    // Raw findings from every family.
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in &ws.files {
+        raw.extend(rules::check_file(&ws, file));
+    }
+    rules::check_layering(&ws, &mut raw);
+    rules::check_telemetry(&ws, &mut raw);
+    // Dedupe repeated hits of one (line, rule, message) — several
+    // tokens on a line can trip the same check, but one annotation
+    // must keep suppressing the whole line, as it always has.
+    raw.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    raw.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.rule == b.rule && a.message == b.message
+    });
+    // Apply each file's allows to that file's findings.
+    let mut out: Vec<Finding> = Vec::new();
+    for (rel, text) in inputs {
+        let Some(file) = ws.file(rel) else {
+            continue;
+        };
+        let (allows, malformed) = parse_allows(file, text);
+        let mine: Vec<Finding> = raw
+            .iter()
+            .filter(|f| f.file == Path::new(rel))
+            .cloned()
+            .collect();
+        out.extend(apply_allows(rel, allows, mine));
+        out.extend(malformed);
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// Scans one file's source in isolation (no cross-file rules beyond
+/// what the single file itself can trigger). `rel` is the
+/// workspace-relative path used for scoping and diagnostics.
+pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
+    scan_files(&[(rel.to_string(), src.to_string())])
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for stable
@@ -717,13 +428,16 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/workload/src",
 ];
 
+/// Non-Rust inputs rule T checks coverage against.
+pub const RESOURCE_PATHS: &[&str] = &["tests/data/golden_schema.jsonl"];
+
 /// Scans the whole workspace rooted at `root`.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     for sub in SCAN_ROOTS {
         collect_rs(&root.join(sub), &mut files)?;
     }
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for path in files {
         let src = std::fs::read_to_string(&path)?;
         let rel = path
@@ -731,9 +445,82 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        findings.extend(scan_source(&rel, &src));
+        inputs.push((rel, src));
     }
-    Ok(findings)
+    for res in RESOURCE_PATHS {
+        let path = root.join(res);
+        if path.is_file() {
+            inputs.push((res.to_string(), std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(scan_files(&inputs))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as the machine-readable JSON document CI consumes:
+/// `{"findings": [{file, line, rule, message}, …], "count": N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file.display().to_string()),
+            f.line,
+            f.rule.id(),
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out.push('\n');
+    out
+}
+
+/// Renders findings as GitHub Actions workflow commands, one per line,
+/// so CI surfaces them as inline annotations on the PR diff.
+pub fn render_github(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        // Workflow-command escaping: %, CR, LF in the message; plus
+        // `,` and `:` in property values.
+        let msg = f
+            .message
+            .replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A");
+        let file = f
+            .file
+            .display()
+            .to_string()
+            .replace('%', "%25")
+            .replace(',', "%2C")
+            .replace(':', "%3A");
+        out.push_str(&format!(
+            "::error file={},line={},title=autobal-lint [{}]::{}\n",
+            file,
+            f.line,
+            f.rule.id(),
+            msg
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -741,103 +528,131 @@ mod tests {
     use super::*;
 
     #[test]
-    fn strip_removes_comments_and_strings() {
-        let src = "let a = \"thread_rng\"; // thread_rng\nlet b = 1;";
-        let s = strip_code(src);
-        assert!(!s.contains("thread_rng"));
-        assert!(s.contains("let b = 1;"));
-        assert_eq!(s.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn strip_handles_raw_strings_and_chars() {
-        let src = "let r = r#\"HashMap \" inner\"#; let c = '\\n'; let l: &'static str = x;";
-        let s = strip_code(src);
-        assert!(!s.contains("HashMap"));
-        assert!(s.contains("'static"));
-    }
-
-    #[test]
-    fn strip_handles_nested_block_comments() {
-        let src = "/* outer /* inner HashMap */ still */ let x = 1;";
-        let s = strip_code(src);
-        assert!(!s.contains("HashMap"));
-        assert!(s.contains("let x = 1;"));
-    }
-
-    #[test]
-    fn word_boundaries_respected() {
-        assert!(has_word("use std::collections::HashMap;", "HashMap"));
-        assert!(!has_word("let my_thread_rng_count = 1;", "thread_rng"));
-        assert!(has_method(".unwrap()", "unwrap"));
-        assert!(!has_method("x.unwrap_or(3)", "unwrap"));
-        assert!(!has_method("x.unwrap_or_else(f)", "unwrap"));
-    }
-
-    #[test]
-    fn index_detection() {
-        assert!(has_index_expr("let x = ids[(i + k) % n];"));
-        assert!(has_index_expr("let y = self.nodes[&cur];"));
-        assert!(has_index_expr("f()[0]"));
-        assert!(!has_index_expr("#[cfg(feature = x)]"));
-        assert!(!has_index_expr("let v = vec![None; 4];"));
-        assert!(!has_index_expr("let a: [u8; 4] = x;"));
-        assert!(!has_index_expr("fn f(s: &[Id]) {}"));
-    }
-
-    #[test]
-    fn cfg_test_blocks_are_masked() {
-        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
-        let mask = test_mask(&strip_code(src));
-        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    fn rule_ids_round_trip() {
+        for (rule, _) in RULES {
+            assert_eq!(Rule::from_id_any(rule.id()), Some(*rule));
+        }
+        assert_eq!(
+            Rule::from_id("unused-allow"),
+            None,
+            "meta rules are not allowable"
+        );
+        assert_eq!(Rule::from_id("layering"), Some(Rule::Layering));
     }
 
     #[test]
     fn scope_selection() {
         assert_eq!(
             rules_for("crates/chord/src/network.rs"),
-            vec![Rule::Determinism, Rule::PanicSafety, Rule::OutputDiscipline]
+            vec![
+                Rule::Determinism,
+                Rule::PanicSafety,
+                Rule::OutputDiscipline,
+                Rule::ErrorPath,
+                Rule::FloatOrder
+            ]
         );
         assert_eq!(
             rules_for("crates/core/src/strategy/random.rs"),
             vec![
                 Rule::Determinism,
                 Rule::StrategyLocality,
-                Rule::OutputDiscipline
+                Rule::OutputDiscipline,
+                Rule::FloatOrder
             ]
         );
         assert_eq!(
             rules_for("crates/core/src/strategy/mod.rs"),
-            vec![Rule::Determinism, Rule::OutputDiscipline]
+            vec![Rule::Determinism, Rule::OutputDiscipline, Rule::FloatOrder]
         );
-        assert_eq!(rules_for("crates/viz/src/svg.rs"), Vec::<Rule>::new());
-        assert_eq!(
-            rules_for("crates/telemetry/src/sink.rs"),
-            vec![Rule::OutputDiscipline]
-        );
+        assert_eq!(rules_for("crates/viz/src/svg.rs"), vec![Rule::FloatOrder]);
         assert_eq!(
             rules_for("src/protocol_sim.rs"),
-            vec![Rule::Determinism, Rule::OutputDiscipline]
+            vec![
+                Rule::Determinism,
+                Rule::OutputDiscipline,
+                Rule::ErrorPath,
+                Rule::FloatOrder
+            ]
         );
         assert_eq!(
             rules_for("src/event_sim.rs"),
-            vec![Rule::Determinism, Rule::PanicSafety, Rule::OutputDiscipline]
-        );
-        // The adversary module injects faults too: held to panic-safety
-        // like the rest of the fault plane.
-        assert_eq!(
-            rules_for("crates/chord/src/adversary.rs"),
-            vec![Rule::Determinism, Rule::PanicSafety, Rule::OutputDiscipline]
-        );
-        // The cross-check decorator is a strategy-surface citizen: rule
-        // S keeps it off substrate internals.
-        assert_eq!(
-            rules_for("crates/core/src/strategy/crosscheck.rs"),
             vec![
                 Rule::Determinism,
-                Rule::StrategyLocality,
-                Rule::OutputDiscipline
+                Rule::PanicSafety,
+                Rule::OutputDiscipline,
+                Rule::ErrorPath,
+                Rule::FloatOrder
             ]
         );
+        assert_eq!(rules_for("tests/chaos.rs"), Vec::<Rule>::new());
+    }
+
+    #[test]
+    fn token_stream_kills_string_false_positives() {
+        // The v1 line scanner needed strip_code for these; the lexer
+        // handles them structurally.
+        let clean = scan_source(
+            "crates/core/src/x.rs",
+            "fn f() { let s = \"HashMap thread_rng Instant\"; let c = 'H'; }\n",
+        );
+        assert_eq!(clean, Vec::new());
+        let dirty = scan_source("crates/core/src/x.rs", "use std::collections::HashMap;\n");
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty.first().map(|f| f.rule), Some(Rule::Determinism));
+    }
+
+    #[test]
+    fn multiline_method_calls_are_seen() {
+        // `.unwrap()` split across lines defeated the line scanner.
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x\n        .unwrap()\n}\n";
+        let got = scan_source("crates/chord/src/network.rs", src);
+        assert!(
+            got.iter()
+                .any(|f| f.rule == Rule::PanicSafety && f.line == 3),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn allow_in_test_code_is_reported_unused() {
+        let src = "fn ok() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       // autobal-lint: allow(determinism, \"tests are exempt anyway\")\n\
+                       fn t() { let _ = std::collections::HashMap::<u8, u8>::new(); }\n\
+                   }\n";
+        let got = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = got.first().expect("one finding");
+        assert_eq!((f.line, f.rule), (4, Rule::UnusedAllow));
+        assert!(f.message.contains("cfg(test)"), "{}", f.message);
+    }
+
+    #[test]
+    fn json_and_github_rendering() {
+        let findings = vec![Finding {
+            file: PathBuf::from("src/a.rs"),
+            line: 3,
+            rule: Rule::Layering,
+            message: "crate `a` may not import \"b\"".to_string(),
+        }];
+        let json = render_json(&findings);
+        assert!(json.contains("\"rule\":\"layering\""));
+        assert!(json.contains("\\\"b\\\""));
+        assert!(json.ends_with("\"count\":1}\n"));
+        assert_eq!(render_json(&[]), "{\"findings\":[],\"count\":0}\n");
+        let gh = render_github(&findings);
+        assert!(gh.starts_with("::error file=src/a.rs,line=3,"));
+    }
+
+    #[test]
+    fn two_violations_one_line_need_two_allows_only_if_distinct() {
+        // Two unwraps on one line are one deduped finding (one line,
+        // one rule, one message) — a single annotation covers them.
+        let src = "// autobal-lint: allow(panic-safety, \"test of dedupe\")\n\
+                   fn f(a: Option<u8>, b: Option<u8>) { a.unwrap(); b.unwrap(); }\n";
+        let got = scan_source("crates/chord/src/fault.rs", src);
+        assert_eq!(got, Vec::new(), "{got:?}");
     }
 }

@@ -1,13 +1,24 @@
 //! The `autobal-lint` binary: scans the workspace's first-party crates
-//! and exits nonzero when any invariant violation is found.
+//! and reports invariant violations.
 //!
 //! ```text
-//! cargo run --release -p autobal-lint            # scan the workspace
-//! cargo run --release -p autobal-lint -- <root>  # scan an explicit root
+//! cargo run --release -p autobal-lint                     # scan the workspace
+//! cargo run --release -p autobal-lint -- --list-rules     # rule catalogue
+//! cargo run --release -p autobal-lint -- --rule layering  # one family only
+//! cargo run --release -p autobal-lint -- --format json    # machine-readable
+//! cargo run --release -p autobal-lint -- <root>           # explicit root
 //! ```
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` internal error
+//! (bad arguments, unreadable workspace).
 
+use autobal_lint::{render_github, render_json, scan_workspace, Rule, RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const EXIT_CLEAN: u8 = 0;
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_ERROR: u8 = 2;
 
 /// Walks upward from `start` to the directory that owns the workspace
 /// (identified by a `Cargo.toml` next to a `crates/` directory).
@@ -23,45 +34,132 @@ fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
     }
 }
 
-fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) if arg == "--help" || arg == "-h" => {
-            eprintln!("usage: autobal-lint [WORKSPACE_ROOT]");
-            eprintln!(
-                "Checks determinism, panic-safety, strategy-locality, and \
-                 output-discipline invariants."
-            );
-            return ExitCode::SUCCESS;
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    rule: Option<Rule>,
+    format: Format,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: autobal-lint [OPTIONS] [WORKSPACE_ROOT]\n\
+         \n\
+         Machine-checks the workspace invariants (determinism, panic-safety,\n\
+         strategy-locality, output-discipline, layering, error-path,\n\
+         float-order, telemetry-vocab).\n\
+         \n\
+         options:\n\
+           --list-rules         print the rule catalogue and exit\n\
+           --rule <id>          report only this rule family\n\
+           --format <fmt>       text (default), json, or github\n\
+           -h, --help           this help"
+    );
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut root = None;
+    let mut rule = None;
+    let mut format = Format::Text;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                usage();
+                return Ok(None);
+            }
+            "--list-rules" => {
+                for (r, what) in RULES {
+                    println!("{:<18} {}", r.id(), what);
+                }
+                return Ok(None);
+            }
+            "--rule" => {
+                let id = argv.next().ok_or("--rule needs a rule id")?;
+                rule = Some(Rule::from_id_any(&id).ok_or_else(|| format!("unknown rule `{id}`"))?);
+            }
+            "--format" => {
+                let f = argv.next().ok_or("--format needs text|json|github")?;
+                format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            path => {
+                if root.is_some() {
+                    return Err("more than one workspace root given".to_string());
+                }
+                root = Some(PathBuf::from(path));
+            }
         }
-        Some(arg) => PathBuf::from(arg),
+    }
+    Ok(Some(Args { root, rule, format }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::from(EXIT_CLEAN),
+        Err(why) => {
+            eprintln!("autobal-lint: {why}");
+            usage();
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+
+    let root = match args.root {
+        Some(r) => r,
         None => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
             match find_workspace_root(cwd) {
                 Some(r) => r,
                 None => {
                     eprintln!("autobal-lint: cannot locate the workspace root; pass it explicitly");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_ERROR);
                 }
             }
         }
     };
 
-    let findings = match autobal_lint::scan_workspace(&root) {
+    let mut findings = match scan_workspace(&root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("autobal-lint: scan failed: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
-
-    for f in &findings {
-        println!("{f}");
+    if let Some(rule) = args.rule {
+        findings.retain(|f| f.rule == rule);
     }
+
+    match args.format {
+        Format::Text => {
+            for f in &findings {
+                println!("{f}");
+            }
+        }
+        Format::Json => print!("{}", render_json(&findings)),
+        Format::Github => print!("{}", render_github(&findings)),
+    }
+
     if findings.is_empty() {
-        eprintln!("autobal-lint: clean ({} rule families enforced)", 4);
-        ExitCode::SUCCESS
+        eprintln!(
+            "autobal-lint: clean ({} rule families enforced)",
+            RULES.len() - 2
+        );
+        ExitCode::from(EXIT_CLEAN)
     } else {
         eprintln!("autobal-lint: {} finding(s)", findings.len());
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_FINDINGS)
     }
 }

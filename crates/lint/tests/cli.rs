@@ -1,0 +1,135 @@
+//! End-to-end checks of the `autobal-lint` binary: exit codes, the
+//! rule catalogue, rule filtering, and the machine formats.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autobal-lint"))
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn list_rules_prints_the_catalogue_and_exits_clean() {
+    let out = bin().arg("--list-rules").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    for id in [
+        "determinism",
+        "panic-safety",
+        "strategy-locality",
+        "output-discipline",
+        "layering",
+        "error-path",
+        "float-order",
+        "telemetry-vocab",
+        "unused-allow",
+        "malformed-allow",
+    ] {
+        assert!(text.contains(id), "--list-rules is missing `{id}`:\n{text}");
+    }
+}
+
+#[test]
+fn clean_workspace_exits_zero_in_every_format() {
+    for format in ["text", "json", "github"] {
+        let out = bin()
+            .arg("--format")
+            .arg(format)
+            .arg(workspace_root())
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "format {format}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn json_output_is_well_formed_on_a_clean_tree() {
+    let out = bin()
+        .arg("--format")
+        .arg("json")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(text, "{\"findings\":[],\"count\":0}\n");
+}
+
+#[test]
+fn rule_filter_accepts_every_catalogued_id() {
+    // `--rule` must understand the meta-diagnostics too, not only the
+    // eight scanning families.
+    for id in ["layering", "unused-allow"] {
+        let out = bin()
+            .arg("--rule")
+            .arg(id)
+            .arg(workspace_root())
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "--rule {id} failed");
+    }
+}
+
+#[test]
+fn bad_arguments_exit_two() {
+    for args in [
+        &["--rule", "no-such-rule"][..],
+        &["--format", "yaml"][..],
+        &["--frobnicate"][..],
+        &["--rule"][..],
+    ] {
+        let out = bin().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        assert!(
+            !String::from_utf8_lossy(&out.stderr).is_empty(),
+            "args {args:?} must explain themselves on stderr"
+        );
+    }
+}
+
+#[test]
+fn findings_exit_one() {
+    // A throwaway tree with a single violating file: the binary must
+    // report it, exit 1, and carry it through the github format.
+    let dir = std::env::temp_dir().join(format!("autobal-lint-cli-{}", std::process::id()));
+    let src = dir.join("crates/core/src/strategy");
+    std::fs::create_dir_all(&src).expect("scratch tree");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(
+        src.join("bad.rs"),
+        "pub fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+    )
+    .expect("fixture file");
+
+    let out = bin().arg(&dir).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        text.contains("[float-order]") && text.contains("bad.rs:2"),
+        "unexpected report:\n{text}"
+    );
+
+    let gh = bin()
+        .arg("--format")
+        .arg("github")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(gh.status.code(), Some(1));
+    let gh_text = String::from_utf8(gh.stdout).expect("utf8");
+    assert!(
+        gh_text.contains("::error file=") && gh_text.contains("line=2"),
+        "unexpected annotations:\n{gh_text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -13,17 +13,13 @@
 //! fixture and demands an exact match between markers and findings —
 //! both directions: a missed finding and a spurious one both fail.
 
-use autobal_lint::{scan_source, scan_workspace, Rule, SCAN_ROOTS};
+use autobal_lint::{rules_for, scan_files, scan_source, Rule};
 use std::path::{Path, PathBuf};
 
 const MARKER: &str = "//~ ERROR ";
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
-}
-
-fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
 /// Parses the `//~ ERROR <rule>` markers of a fixture into the expected
@@ -98,19 +94,107 @@ fn corpus_findings_match_markers() {
     }
 }
 
-/// The corpus exercises every rule family, including both
-/// annotation-audit meta-diagnostics.
+/// Subdirectories of `tests/fixtures/` are fixture *groups*: one
+/// virtual workspace per directory, scanned together so cross-file
+/// rules (layering edges, cross-crate fallible calls, telemetry
+/// coverage) see all members at once. `.rs` members declare their
+/// virtual path as usual; a `.jsonl` member plays the golden-schema
+/// resource.
+fn fixture_groups() -> Vec<(String, Vec<(String, String)>)> {
+    let dir = fixtures_dir();
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    let mut groups = Vec::new();
+    for d in dirs {
+        let name = d
+            .file_name()
+            .expect("dir name")
+            .to_string_lossy()
+            .into_owned();
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&d)
+            .expect("group directory readable")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        let mut inputs = Vec::new();
+        for m in members {
+            let src = std::fs::read_to_string(&m).expect("group member readable");
+            match m.extension().and_then(|e| e.to_str()) {
+                Some("rs") => {
+                    let first = src.lines().next().unwrap_or("");
+                    let rel = first
+                        .strip_prefix("//@ path: ")
+                        .unwrap_or_else(|| {
+                            panic!("group member {} missing `//@ path:` header", m.display())
+                        })
+                        .trim()
+                        .to_string();
+                    inputs.push((rel, src));
+                }
+                Some("jsonl") => {
+                    inputs.push(("tests/data/golden_schema.jsonl".to_string(), src));
+                }
+                _ => panic!("unexpected group member {}", m.display()),
+            }
+        }
+        groups.push((name, inputs));
+    }
+    groups
+}
+
+/// Every group's findings must match the union of its members'
+/// markers, file attribution included.
+#[test]
+fn group_corpora_match_markers() {
+    let groups = fixture_groups();
+    assert!(groups.len() >= 2, "group corpus went missing");
+    for (name, inputs) in &groups {
+        let mut expected: Vec<(String, usize, Rule)> = Vec::new();
+        for (rel, src) in inputs {
+            if rel.ends_with(".jsonl") {
+                continue;
+            }
+            expected.extend(
+                expected_markers(src)
+                    .into_iter()
+                    .map(|(line, rule)| (rel.clone(), line, rule)),
+            );
+        }
+        expected.sort();
+        let got: Vec<(String, usize, Rule)> = scan_files(inputs)
+            .iter()
+            .map(|f| (f.file.display().to_string(), f.line, f.rule))
+            .collect();
+        assert_eq!(got, expected, "group {name}: findings != markers");
+    }
+}
+
+/// The corpus exercises every one of the ten diagnostics — all eight
+/// rule families plus both annotation-audit meta-diagnostics.
 #[test]
 fn corpus_covers_every_rule() {
     let mut seen = Vec::new();
     for (_, src) in fixture_sources() {
         seen.extend(expected_markers(&src).into_iter().map(|(_, r)| r));
     }
+    for (_, inputs) in fixture_groups() {
+        for (_, src) in inputs {
+            seen.extend(expected_markers(&src).into_iter().map(|(_, r)| r));
+        }
+    }
     for rule in [
         Rule::Determinism,
         Rule::PanicSafety,
         Rule::StrategyLocality,
         Rule::OutputDiscipline,
+        Rule::Layering,
+        Rule::ErrorPath,
+        Rule::FloatOrder,
+        Rule::TelemetryVocab,
         Rule::UnusedAllow,
         Rule::MalformedAllow,
     ] {
@@ -130,23 +214,38 @@ fn allow_suppresses_exactly_one_finding() {
     assert_eq!((got[0].line, got[0].rule), (3, Rule::Determinism));
 }
 
-/// The shipped tree itself must be clean — the analyzer's findings are
-/// fixed or annotated, never outstanding.
+/// The analyzer holds itself to its own panic-safety and
+/// output-discipline bars: its library sources, scanned as if they
+/// lived on the delivery path, produce no findings from either family.
 #[test]
-fn real_workspace_is_clean() {
-    let root = workspace_root();
-    for sub in SCAN_ROOTS {
+fn analyzer_lints_itself() {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    for name in ["lexer.rs", "parser.rs", "model.rs", "rules.rs", "lib.rs"] {
+        let src = std::fs::read_to_string(src_dir.join(name)).expect("lint source readable");
+        let offenders: Vec<String> = scan_source("crates/chord/src/eventnet.rs", &src)
+            .iter()
+            .filter(|f| matches!(f.rule, Rule::PanicSafety | Rule::OutputDiscipline))
+            .map(|f| format!("{name}:{}: [{}] {}", f.line, f.rule.id(), f.message))
+            .collect();
         assert!(
-            root.join(sub).is_dir() || *sub == "crates/bench/src",
-            "scan root {sub} missing below {}",
-            root.display()
+            offenders.is_empty(),
+            "the analyzer must pass its own rules:\n{}",
+            offenders.join("\n")
         );
     }
-    let findings = scan_workspace(&root).expect("workspace scan succeeds");
-    let listing: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
-    assert!(
-        findings.is_empty(),
-        "the workspace must lint clean:\n{}",
-        listing.join("\n")
-    );
+}
+
+/// Scope sanity: the per-file families land exactly where the charter
+/// says they do.
+#[test]
+fn scopes_are_pinned() {
+    assert!(rules_for("crates/core/src/sim.rs").contains(&Rule::Determinism));
+    assert!(rules_for("crates/chord/src/network.rs").contains(&Rule::ErrorPath));
+    assert!(rules_for("src/protocol_sim.rs").contains(&Rule::ErrorPath));
+    assert!(!rules_for("crates/stats/src/ci.rs").contains(&Rule::ErrorPath));
+    assert!(rules_for("crates/stats/src/ci.rs").contains(&Rule::FloatOrder));
+    assert!(rules_for("crates/core/src/strategy/smart.rs").contains(&Rule::StrategyLocality));
+    assert!(!rules_for("crates/core/src/strategy/mod.rs").contains(&Rule::StrategyLocality));
+    assert!(rules_for("crates/experiments/src/main.rs").contains(&Rule::Determinism));
+    assert!(!rules_for("crates/experiments/src/main.rs").contains(&Rule::OutputDiscipline));
 }

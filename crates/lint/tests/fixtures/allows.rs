@@ -35,3 +35,17 @@ pub fn wrong_family(x: Option<u64>) -> u64 {
 pub fn tail() -> u64 {
     0
 }
+
+// Test code is exempt from every rule, so an allow inside it is dead
+// weight and reported as unused; a malformed marker there is ignored
+// (test scaffolding may mention the syntax without being audited).
+#[cfg(test)]
+mod tests {
+    // autobal-lint: allow(panic-safety, "fixture: exempt region") //~ ERROR unused-allow
+    // autobal-lint: allow(panic-safety)
+    #[test]
+    fn exercised() {
+        let x: Option<u64> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/chord/src/adversary.rs
+// Cross-file discard: `deliver` is declared fallible in network.rs,
+// so the discard is reported naming its callee.
+use crate::network::deliver;
+
+pub fn strike() {
+    let _ = deliver(); //~ ERROR error-path
+}

@@ -1,0 +1,9 @@
+//@ path: crates/chord/src/network.rs
+// The fallible surface the group's adversary file discards.
+pub enum NetworkError {
+    Jammed,
+}
+
+pub fn deliver() -> Result<(), NetworkError> {
+    Ok(())
+}

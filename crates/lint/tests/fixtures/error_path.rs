@@ -1,0 +1,43 @@
+//@ path: crates/chord/src/fault.rs
+// Error-path fixture: silent Result discards and wildcard error arms
+// on the delivery path.
+use crate::network::NetworkError;
+
+fn inject() -> Result<(), NetworkError> {
+    Ok(())
+}
+
+pub fn exercise() {
+    let _ = inject(); //~ ERROR error-path
+    let _ = compute(); //~ ERROR error-path
+    inject().ok(); //~ ERROR error-path
+}
+
+pub fn classify(r: Result<(), NetworkError>) -> u32 {
+    match r {
+        Ok(()) => 0,
+        Err(NetworkError::TimedOut { attempts }) => attempts,
+        Err(_) => 1, //~ ERROR error-path
+    }
+}
+
+pub fn resolve(e: ActionError) -> u32 {
+    match e {
+        ActionError::Occupied => 1,
+        _ => 0, //~ ERROR error-path
+    }
+}
+
+// A match free of the error enums may still use wildcards.
+pub fn bucket(n: u32) -> u32 {
+    match n {
+        0 => 0,
+        _ => 1,
+    }
+}
+
+// An audited discard carries its reason and stays silent.
+pub fn audited() {
+    // autobal-lint: allow(error-path, "fixture: demonstrates an audited discard")
+    let _ = inject();
+}

@@ -1,0 +1,24 @@
+//@ path: crates/stats/src/order_fixture.rs
+// Float-order fixture: reductions whose shape the rayon scheduler
+// picks, and comparators built on a partial order.
+use rayon::prelude::*;
+
+pub fn unstable_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().sum() //~ ERROR float-order
+}
+
+pub fn unstable_reduce(xs: Vec<f64>) -> f64 {
+    xs.into_par_iter().reduce(|| 0.0, |a, b| a + b) //~ ERROR float-order
+}
+
+pub fn sloppy_sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite")); //~ ERROR float-order
+}
+
+// Serial reduction over a collected buffer and a total ordering stay
+// silent: the parallel stage only maps, the reduction is sequential.
+pub fn stable_sum(xs: &[f64]) -> f64 {
+    let mut parts: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    parts.sort_by(|a, b| a.total_cmp(b));
+    parts.iter().sum()
+}

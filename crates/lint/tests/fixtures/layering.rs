@@ -1,0 +1,20 @@
+//@ path: crates/stats/src/lib_fixture.rs
+// Layering fixture: the stats layer may lean only on the shared id
+// arithmetic; every other first-party import is an upward edge.
+use autobal_id::Id;
+use autobal_core::sim::Sim; //~ ERROR layering
+use autobal_telemetry::sink::Trace; //~ ERROR layering
+
+pub fn sneaky(seed: u64) -> Id {
+    autobal_chord::eventnet::seeded_id(seed) //~ ERROR layering
+}
+
+// An audited exception is possible but must carry its reason.
+// autobal-lint: allow(layering, "fixture: demonstrates an audited edge")
+use autobal_workload::plan::Plan;
+
+#[cfg(test)]
+mod tests {
+    // Test code may reach anywhere; the mask exempts it.
+    use autobal_core::sim::Sim as TestSim;
+}

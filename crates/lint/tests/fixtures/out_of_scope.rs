@@ -1,6 +1,6 @@
 //@ path: crates/viz/src/fixture.rs
-// Out-of-scope fixture: the viz crate carries none of the three rule
-// families, so nothing here may be flagged.
+// Out-of-scope fixture: of the per-file families only float-order
+// reaches the viz crate, and nothing here trips it.
 use std::collections::HashMap;
 
 pub fn renderer(cells: &HashMap<u64, f64>, order: &[u64]) -> f64 {

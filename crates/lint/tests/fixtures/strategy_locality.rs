@@ -1,7 +1,7 @@
 //@ path: crates/core/src/strategy/fixture.rs
 // Strategy-locality fixture: a strategy module trying to escape the
 // LocalView/Actions surface in every forbidden direction.
-use autobal_chord::Network; //~ ERROR strategy-locality
+use autobal_chord::Network; //~ ERROR strategy-locality //~ ERROR layering
 use crate::sim::Sim; //~ ERROR strategy-locality
 
 pub fn sneaky() {

@@ -1,0 +1,15 @@
+//@ path: crates/core/src/emit_fixture.rs
+// Emit sites for the group: both events and the Delivered status.
+use crate::trace_fixture::SimEvent;
+
+pub fn emit_done() -> SimEvent {
+    SimEvent::Done { worker: 1 }
+}
+
+pub fn emit_skipped() -> SimEvent {
+    SimEvent::Skipped { worker: 2 }
+}
+
+pub fn delivered() -> MessageStatus {
+    MessageStatus::Delivered
+}

@@ -1,0 +1,7 @@
+//@ path: crates/telemetry/src/record_fixture.rs
+// A status vocabulary: Delivered is emitted and golden-covered, Lost
+// is neither — one finding per missing obligation.
+pub enum MessageStatus {
+    Delivered,
+    Lost, //~ ERROR telemetry-vocab //~ ERROR telemetry-vocab
+}

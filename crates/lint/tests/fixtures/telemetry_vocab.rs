@@ -1,0 +1,20 @@
+//@ path: crates/core/src/trace_fixture.rs
+// Telemetry-vocabulary fixture: an event variant nobody emits, and a
+// vocabulary with no golden fixture to pin its wire names.
+pub enum SimEvent { //~ ERROR telemetry-vocab
+    Emitted { worker: u64 },
+    Ghost { worker: u64 }, //~ ERROR telemetry-vocab
+}
+
+impl SimEvent {
+    pub fn decision_fields(&self) -> &'static str {
+        match self {
+            SimEvent::Emitted { .. } => "emitted",
+            SimEvent::Ghost { .. } => "ghost",
+        }
+    }
+}
+
+pub fn emit() -> SimEvent {
+    SimEvent::Emitted { worker: 0 }
+}

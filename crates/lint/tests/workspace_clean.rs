@@ -1,0 +1,30 @@
+//! The shipped tree itself must be clean — the analyzer's findings
+//! are fixed or annotated, never outstanding. Kept apart from the
+//! fixture corpus so CI can run the corpus and the clean-tree gate as
+//! separate steps with separate failure messages.
+
+use autobal_lint::{scan_workspace, SCAN_ROOTS};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = workspace_root();
+    for sub in SCAN_ROOTS {
+        assert!(
+            root.join(sub).is_dir() || *sub == "crates/bench/src",
+            "scan root {sub} missing below {}",
+            root.display()
+        );
+    }
+    let findings = scan_workspace(&root).expect("workspace scan succeeds");
+    let listing: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        listing.join("\n")
+    );
+}

@@ -68,7 +68,7 @@ pub fn bootstrap_mean_ci(
         }
         means.push(acc / n as f64);
     }
-    means.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    means.sort_unstable_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((resamples as f64) * alpha).floor() as usize;
     let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);

@@ -396,7 +396,11 @@ impl EventSubstrate {
         let status = match &joined {
             Ok(()) | Err(NetworkError::DuplicateId(_)) => MessageStatus::Delivered,
             Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
-            Err(_) => MessageStatus::Unreachable,
+            Err(
+                NetworkError::EmptyNetwork
+                | NetworkError::UnknownNode(_)
+                | NetworkError::LookupFailed { .. },
+            ) => MessageStatus::Unreachable,
         };
         self.trace.message(tick, "join", status, retries);
         match joined {
@@ -406,7 +410,9 @@ impl EventSubstrate {
                 return Err(match e {
                     NetworkError::DuplicateId(_) => ActionError::Occupied,
                     NetworkError::TimedOut { .. } => ActionError::TimedOut,
-                    _ => ActionError::Unreachable,
+                    NetworkError::EmptyNetwork
+                    | NetworkError::UnknownNode(_)
+                    | NetworkError::LookupFailed { .. } => ActionError::Unreachable,
                 });
             }
         }
@@ -438,7 +444,7 @@ impl EventSubstrate {
                     self.tasks_lost += rep.keys_lost;
                 }
             } else {
-                let _ = self.net.leave(s);
+                self.leave_expecting_gone(s);
             }
             // The wire has no graceful-leave vocabulary: a retiring
             // Sybil simply stops answering and stabilization routes
@@ -546,6 +552,19 @@ impl EventSubstrate {
             }
         }
     }
+
+    /// Gracefully leaves `id`, tolerating only "already gone": under
+    /// crash faults a node can vanish before its owner retires it.
+    /// Anything else would be an ownership-bookkeeping bug, which the
+    /// debug builds refuse to paper over.
+    fn leave_expecting_gone(&mut self, id: Id) {
+        if let Err(e) = self.net.leave(id) {
+            debug_assert!(
+                matches!(e, NetworkError::UnknownNode(_)),
+                "graceful leave failed structurally: {e:?}"
+            );
+        }
+    }
 }
 
 impl Substrate for EventSubstrate {
@@ -598,14 +617,14 @@ impl ChurnOps for EventSubstrate {
             None => return,
         };
         for s in sybils {
-            let _ = self.net.leave(s);
+            self.leave_expecting_gone(s);
             self.wire.fail(s);
             self.owner_of.remove(&s);
         }
         let Some(primary) = self.workers.get(w).map(|p| p.primary) else {
             return;
         };
-        let _ = self.net.leave(primary);
+        self.leave_expecting_gone(primary);
         self.wire.fail(primary);
         self.owner_of.remove(&primary);
         if let Some(p) = self.workers.get_mut(w) {
@@ -648,7 +667,12 @@ impl ChurnOps for EventSubstrate {
             let status = match &joined {
                 Ok(()) => MessageStatus::Delivered,
                 Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
-                Err(_) => MessageStatus::Unreachable,
+                Err(
+                    NetworkError::DuplicateId(_)
+                    | NetworkError::EmptyNetwork
+                    | NetworkError::UnknownNode(_)
+                    | NetworkError::LookupFailed { .. },
+                ) => MessageStatus::Unreachable,
             };
             if joined.is_err() {
                 self.wire.fail(pos);

@@ -265,7 +265,11 @@ impl ChordSubstrate {
             let status = match &joined {
                 Ok(()) | Err(NetworkError::DuplicateId(_)) => MessageStatus::Delivered,
                 Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
-                Err(_) => MessageStatus::Unreachable,
+                Err(
+                    NetworkError::EmptyNetwork
+                    | NetworkError::UnknownNode(_)
+                    | NetworkError::LookupFailed { .. },
+                ) => MessageStatus::Unreachable,
             };
             let retries = self.net.stats.retries - retries_before;
             self.trace.message(self.tick, "join", status, retries);
@@ -274,7 +278,11 @@ impl ChordSubstrate {
             Ok(()) => {}
             Err(NetworkError::DuplicateId(_)) => return Err(ActionError::Occupied),
             Err(NetworkError::TimedOut { .. }) => return Err(ActionError::TimedOut),
-            Err(_) => return Err(ActionError::Unreachable),
+            Err(
+                NetworkError::EmptyNetwork
+                | NetworkError::UnknownNode(_)
+                | NetworkError::LookupFailed { .. },
+            ) => return Err(ActionError::Unreachable),
         }
         let acquired = self.net.node(pos).map(|n| n.keys.len() as u64).unwrap_or(0);
         self.workers[w].sybils.push(pos);
@@ -302,7 +310,7 @@ impl ChordSubstrate {
                     self.tasks_lost += rep.keys_lost;
                 }
             } else {
-                let _ = self.net.leave(s);
+                self.leave_expecting_gone(s);
             }
             self.owner_of.remove(&s);
         }
@@ -361,6 +369,19 @@ impl ChordSubstrate {
             self.crash_worker(w);
         }
     }
+
+    /// Gracefully leaves `id`, tolerating only "already gone": under
+    /// crash faults a node can vanish before its owner retires it.
+    /// Anything else would be an ownership-bookkeeping bug, which the
+    /// debug builds refuse to paper over.
+    fn leave_expecting_gone(&mut self, id: Id) {
+        if let Err(e) = self.net.leave(id) {
+            debug_assert!(
+                matches!(e, NetworkError::UnknownNode(_)),
+                "graceful leave failed structurally: {e:?}"
+            );
+        }
+    }
 }
 
 impl Substrate for ChordSubstrate {
@@ -408,11 +429,11 @@ impl ChurnOps for ChordSubstrate {
     fn depart(&mut self, w: usize) {
         let sybils = std::mem::take(&mut self.workers[w].sybils);
         for s in sybils {
-            let _ = self.net.leave(s);
+            self.leave_expecting_gone(s);
             self.owner_of.remove(&s);
         }
         let primary = self.workers[w].primary;
-        let _ = self.net.leave(primary);
+        self.leave_expecting_gone(primary);
         self.owner_of.remove(&primary);
         self.workers[w].active = false;
         self.active_count -= 1;
@@ -449,7 +470,12 @@ impl ChurnOps for ChordSubstrate {
             let status = match &joined {
                 Ok(()) => MessageStatus::Delivered,
                 Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
-                Err(_) => MessageStatus::Unreachable,
+                Err(
+                    NetworkError::DuplicateId(_)
+                    | NetworkError::EmptyNetwork
+                    | NetworkError::UnknownNode(_)
+                    | NetworkError::LookupFailed { .. },
+                ) => MessageStatus::Unreachable,
             };
             let retries = self.net.stats.retries - retries_before;
             self.trace.message(self.tick, "join", status, retries);

@@ -12,8 +12,8 @@ use autobal::sim::{Sim, SimConfig, StrategyKind};
 use autobal::stats::rng::{domains, substream, DetRng};
 use autobal::Id;
 use autobal_telemetry::{
-    check_framing, diff_traces, parse_jsonl, render_divergence, to_jsonl, validate_jsonl,
-    Divergence, TraceBody,
+    check_framing, diff_traces, parse_jsonl, render_divergence, summarize, to_jsonl,
+    validate_jsonl, Divergence, TraceBody,
 };
 use rayon::prelude::*;
 use std::path::PathBuf;
@@ -431,4 +431,49 @@ fn diff_reports_first_divergence_with_worker_and_tick() {
             assert!(report.contains("in span["), "{report}");
         }
     }
+}
+
+#[test]
+fn golden_schema_fixture_spans_the_vocabulary() {
+    // `tests/data/golden_schema.jsonl` is the lint rule T anchor: it
+    // must stay a valid trace AND mention every decision name and
+    // message status, so a vocabulary change forces the fixture (and
+    // therefore this test plus the lint gate) to move in lockstep.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_schema.jsonl");
+    let text = std::fs::read_to_string(&path).expect("golden schema fixture committed");
+    let n = validate_jsonl(&text).expect("golden schema validates");
+    let records = parse_jsonl(&text).expect("golden schema parses");
+    assert_eq!(records.len(), n);
+    check_framing(&records).expect("golden schema is well-framed");
+
+    let summary = summarize(&records);
+    let names = [
+        "sybil_created",
+        "sybils_retired",
+        "worker_left",
+        "worker_crashed",
+        "worker_joined",
+        "invitation_sent",
+        "invitation_refused",
+        "invitation_honored",
+        "load_queried",
+        "neighbor_gap_split",
+        "lied",
+        "probe_agree",
+        "probe_conflict",
+        "quarantined",
+    ];
+    for name in names {
+        assert_eq!(
+            summary.decisions_by_name.get(name),
+            Some(&1),
+            "decision name `{name}` missing from the golden schema fixture"
+        );
+    }
+    assert_eq!(summary.decisions, names.len() as u64);
+    assert_eq!(summary.messages.delivered, 1);
+    assert_eq!(summary.messages.dropped, 1);
+    assert_eq!(summary.messages.timed_out, 1);
+    assert_eq!(summary.messages.unreachable, 1);
+    assert!(summary.completed);
 }
