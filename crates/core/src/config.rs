@@ -187,6 +187,21 @@ pub struct SimConfig {
     /// byte-identical.
     #[cfg_attr(feature = "serde", serde(default))]
     pub record_trace: bool,
+    /// Record streaming metrics samples into `RunResult::metrics` (off
+    /// by default; see `autobal-metrics`). Counters ride the same emit
+    /// funnels as the trace plane; fairness gauges come from the
+    /// incremental load distribution, bit-equal to the batch sweep.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub record_metrics: bool,
+    /// Metrics sampling cadence in ticks (used when `record_metrics`;
+    /// `None` falls back to `series_interval`, then 1). Tick 0 and the
+    /// final tick are always sampled.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub metrics_interval: Option<u64>,
+    /// Include a per-worker ring snapshot in every metrics sample
+    /// (monitor food; O(workers) per sample, so off by default).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub metrics_ring: bool,
 }
 
 fn one() -> u32 {
@@ -218,6 +233,9 @@ impl Default for SimConfig {
             virtual_nodes_per_worker: 1,
             record_events: false,
             record_trace: false,
+            record_metrics: false,
+            metrics_interval: None,
+            metrics_ring: false,
         }
     }
 }

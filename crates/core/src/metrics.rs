@@ -137,6 +137,10 @@ pub struct RunResult {
     /// set); empty and allocation-free otherwise.
     #[cfg_attr(feature = "serde", serde(default))]
     pub trace: autobal_telemetry::Trace,
+    /// Streaming metrics samples (when `record_metrics` was set);
+    /// empty otherwise. Integer-only and byte-deterministic.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub metrics: Vec<autobal_metrics::MetricsSample>,
 }
 
 impl RunResult {
@@ -199,6 +203,7 @@ mod tests {
             series: TickSeries::default(),
             events: crate::trace::EventLog::default(),
             trace: autobal_telemetry::Trace::default(),
+            metrics: Vec::new(),
         };
         assert_eq!(r.mean_work_per_tick(), 10.0);
         assert!(r.snapshot_at(5).is_some());
@@ -220,6 +225,7 @@ mod tests {
             series: TickSeries::default(),
             events: crate::trace::EventLog::default(),
             trace: autobal_telemetry::Trace::default(),
+            metrics: Vec::new(),
         };
         assert_eq!(r.mean_work_per_tick(), 0.0);
     }

@@ -11,6 +11,9 @@ use crate::strategy::{
 use crate::trace::{EventLog, SimEvent};
 use crate::worker::{Worker, WorkerId, WorkerState};
 use autobal_id::{ring, Id};
+use autobal_metrics::{
+    names as metric_names, profile, LoadDist, MetricsHub, MetricsSink, RingSlot,
+};
 use autobal_stats::rng::{domains, substream, DetRng};
 use autobal_telemetry::{MessageStatus, Trace, TraceSink};
 use rand::Rng;
@@ -33,12 +36,20 @@ pub struct Sim {
     pub(crate) rng_strategy: DetRng,
     active_count: usize,
     work_history: Vec<u64>,
-    /// Reusable buffer for per-sample active-load collection, so the
-    /// series sampler never allocates in steady state.
-    scratch_loads: Vec<u64>,
     snapshots: Vec<Snapshot>,
     peak_vnodes: usize,
     series: TickSeries,
+    /// Incremental mirror of the active workers' cached loads (see
+    /// `autobal-metrics`): every load delta updates it in O(log L), so
+    /// series and metrics sampling read Gini/percentiles without the
+    /// per-sample copy-and-sort — bit-equal to the batch recompute
+    /// because both feed the same exact integer sums through
+    /// `autobal_stats::fairness`.
+    dist: LoadDist,
+    /// Whether the load dist is maintained (any sampling armed).
+    dist_on: bool,
+    /// Streaming metrics recorder; free when `record_metrics` is off.
+    pub(crate) hub: MetricsHub,
     pub(crate) events: EventLog,
     /// Span-structured flight recorder (see `autobal-telemetry`);
     /// disabled unless `SimConfig::record_trace` — every emission is a
@@ -142,6 +153,14 @@ impl Sim {
         let mut trace = Trace::new(cfg.record_trace);
         trace.run_start(0, "oracle", cfg.strategy.label(), seed);
         let strategies = crate::strategy::stack_for(&cfg);
+        let dist_on = cfg.record_metrics || cfg.series_interval.is_some();
+        let mut dist = LoadDist::new();
+        if dist_on {
+            for w in workers.iter().filter(|w| w.is_active()) {
+                dist.insert(w.load);
+            }
+        }
+        let hub = MetricsHub::new(cfg.record_metrics).with_ring(cfg.metrics_ring);
         Sim {
             cfg,
             ring,
@@ -155,10 +174,12 @@ impl Sim {
             // Seed enough room for the common case (runs end well under
             // the tick cap); capped so absurd caps don't reserve memory.
             work_history: Vec::with_capacity((cfg_max_ticks.min(65_536)) as usize),
-            scratch_loads: Vec::new(),
             snapshots: Vec::new(),
             peak_vnodes: peak,
             series: TickSeries::default(),
+            dist,
+            dist_on,
+            hub,
             events: EventLog::new(cfg_record_events),
             trace,
             strategies,
@@ -220,12 +241,17 @@ impl Sim {
         // 1. Churn layers fire every tick — as the Churn strategy
         //    itself, or as background turbulence under another strategy
         //    (§VI-B-1).
-        stack.on_tick(self);
+        {
+            let _p = profile::span("churn");
+            stack.on_tick(self);
+        }
         // 2. Sybil layers check every `check_interval` ticks.
         if self.tick.is_multiple_of(self.cfg.check_interval) {
+            let _p = profile::span("checks");
             stack.on_check(self);
         }
         self.strategies = stack;
+        let _p = profile::span("work");
 
         // 3. Every active worker consumes up to its capacity.
         let strength_based = self.cfg.work_measurement == WorkMeasurement::StrengthPerTick;
@@ -257,9 +283,14 @@ impl Sim {
                 }
             }
             consumed += consumed_w;
+            if self.dist_on {
+                self.dist.update(load, load - consumed_w);
+            }
             self.workers[idx].load = load - consumed_w;
         }
         self.work_history.push(consumed);
+        self.hub.inc(metric_names::TICKS);
+        self.hub.add(metric_names::TASKS_DONE, consumed);
         self.peak_vnodes = self.peak_vnodes.max(self.ring.len());
         // Strict builds re-verify the ring's structural invariants every
         // tick — a step that corrupts the ring fails at the tick that
@@ -273,28 +304,49 @@ impl Sim {
         consumed
     }
 
-    /// Records one time-series sample at the current tick. Collects the
-    /// active loads into a reusable scratch buffer (idle counted before
-    /// the in-place sort feeds `gini_sorted`), so sampling allocates
-    /// only while the buffer grows to the worker-table high-water mark.
+    /// Records one time-series sample at the current tick. Reads the
+    /// incrementally-maintained load distribution — O(log L) instead of
+    /// the historical collect-sort-sweep, with bit-equal Gini (see the
+    /// `dist` field) — so sampling is allocation-free.
     fn sample_series(&mut self) {
-        self.scratch_loads.clear();
-        self.scratch_loads.extend(
-            self.workers
-                .iter()
-                .filter(|w| w.is_active())
-                .map(|w| w.load),
-        );
-        let idle = self.scratch_loads.iter().filter(|&&l| l == 0).count();
-        self.scratch_loads.sort_unstable();
+        let _p = profile::span("sample");
+        debug_assert!(self.dist_on, "series sampling requires the load dist");
+        debug_assert_eq!(self.dist.len() as usize, self.active_count);
         self.series.ticks.push(self.tick);
         self.series.active_workers.push(self.active_count);
         self.series.vnodes.push(self.ring.len());
         self.series.remaining.push(self.ring.total_tasks());
-        self.series
-            .gini
-            .push(autobal_stats::gini_sorted(&self.scratch_loads));
-        self.series.idle.push(idle);
+        self.series.gini.push(self.dist.gini());
+        self.series.idle.push(self.dist.zeros() as usize);
+    }
+
+    /// Records one metrics sample: ring-shape gauges, fairness gauges
+    /// from the incremental distribution, and (when configured) a
+    /// per-worker ring snapshot.
+    fn sample_metrics(&mut self) {
+        let _p = profile::span("sample");
+        self.hub
+            .set_gauge(metric_names::VNODES, self.ring.len() as u64);
+        self.hub
+            .set_gauge(metric_names::TASKS_REMAINING, self.ring.total_tasks());
+        let ring_slots: Vec<RingSlot> = if self.hub.ring_enabled() {
+            self.workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.is_active())
+                .map(|(i, w)| RingSlot {
+                    worker: i as u64,
+                    pos: w.primary.to_hex(),
+                    load: w.load,
+                    sybils: w.sybils.len() as u64,
+                    quarantined: 0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let tick = self.tick;
+        self.hub.sample_from_dist(tick, &self.dist, ring_slots);
     }
 
     /// Runs to completion (or the tick cap) and returns the result.
@@ -313,6 +365,16 @@ impl Sim {
         if series_every.is_some() {
             self.sample_series();
         }
+        let metrics_every = self.hub.enabled().then(|| {
+            self.cfg
+                .metrics_interval
+                .or(self.cfg.series_interval)
+                .unwrap_or(1)
+                .max(1)
+        });
+        if metrics_every.is_some() {
+            self.sample_metrics();
+        }
         let cap = self.cfg.effective_max_ticks();
         while self.ring.total_tasks() > 0 && self.tick < cap {
             self.step();
@@ -323,6 +385,11 @@ impl Sim {
             if let Some(k) = series_every {
                 if self.tick.is_multiple_of(k) || self.ring.total_tasks() == 0 {
                     self.sample_series();
+                }
+            }
+            if let Some(k) = metrics_every {
+                if self.tick.is_multiple_of(k) || self.ring.total_tasks() == 0 {
+                    self.sample_metrics();
                 }
             }
         }
@@ -342,6 +409,7 @@ impl Sim {
             series: self.series,
             events: self.events,
             trace: self.trace,
+            metrics: self.hub.into_samples(),
         }
     }
 
@@ -353,6 +421,10 @@ impl Sim {
         if self.trace.enabled() {
             let (name, worker, pos, value) = event.decision_fields();
             self.trace.decision(self.tick, name, worker, &pos, value);
+        }
+        if self.hub.enabled() {
+            let (name, value) = event.metric_fields();
+            self.hub.event(name, value);
         }
         self.events.push(event);
     }
@@ -374,6 +446,9 @@ impl Sim {
         }
         let primary = self.workers[idx].primary;
         let _ = self.remove_vnode_tracked(primary);
+        if self.dist_on {
+            self.dist.remove(self.workers[idx].load);
+        }
         self.workers[idx].state = WorkerState::Waiting;
         debug_assert_eq!(self.workers[idx].load, 0);
         self.workers[idx].load = 0;
@@ -391,6 +466,9 @@ impl Sim {
         debug_assert!(!self.workers[idx].is_active());
         self.workers[idx].state = WorkerState::Active;
         self.workers[idx].load = 0;
+        if self.dist_on {
+            self.dist.insert(0);
+        }
         let pos = loop {
             let p = Id::random(&mut self.rng_churn);
             if !self.ring.contains(p) {
@@ -439,6 +517,14 @@ impl Sim {
         if acquired > 0 {
             let victim_vnode = self.ring.successor_of(pos).expect("successor after split");
             let victim_owner = self.ring.vnode(victim_vnode).expect("vnode").owner;
+            // Mirror both load deltas into the incremental distribution
+            // (a self-transfer is a net no-op there).
+            if self.dist_on && victim_owner != owner {
+                let v = self.workers[victim_owner].load;
+                let o = self.workers[owner].load;
+                self.dist.update(v, v - acquired);
+                self.dist.update(o, o + acquired);
+            }
             self.workers[victim_owner].load -= acquired;
             self.workers[owner].load += acquired;
         }
@@ -450,6 +536,12 @@ impl Sim {
         let (owner, moved, succ) = self.ring.remove_vnode(pos)?;
         if moved > 0 {
             let succ_owner = self.ring.vnode(succ).expect("successor").owner;
+            if self.dist_on && succ_owner != owner {
+                let o = self.workers[owner].load;
+                let s = self.workers[succ_owner].load;
+                self.dist.update(o, o - moved);
+                self.dist.update(s, s + moved);
+            }
             self.workers[owner].load -= moved;
             self.workers[succ_owner].load += moved;
         }
@@ -530,6 +622,16 @@ impl Sim {
         let truth = self.ring.loads_by_owner(self.workers.len());
         for (i, w) in self.workers.iter().enumerate() {
             assert_eq!(w.load, truth[i], "load cache of worker {i}");
+        }
+        if self.dist_on {
+            assert_eq!(self.dist.len() as usize, self.active_count, "dist size");
+            let total: u128 = self
+                .workers
+                .iter()
+                .filter(|w| w.is_active())
+                .map(|w| w.load as u128)
+                .sum();
+            assert_eq!(self.dist.total(), total, "dist total");
         }
     }
 }
@@ -698,6 +800,7 @@ impl Actions for SimNodeCtx<'_> {
         self.sim
             .trace
             .message(self.sim.tick, "load_query", MessageStatus::Delivered, 0);
+        self.sim.hub.message(metric_names::MSG_DELIVERED, 0);
         let tick = self.sim.tick;
         let worker = self.worker;
         self.sim.emit_event(SimEvent::LoadQueried {
@@ -745,6 +848,7 @@ impl Actions for SimNodeCtx<'_> {
         let tick = sim.tick;
         sim.trace
             .message(tick, "invitation", MessageStatus::Delivered, 0);
+        sim.hub.message(metric_names::MSG_DELIVERED, 0);
         sim.emit_event(SimEvent::InvitationSent {
             tick,
             worker: inviter,

@@ -146,6 +146,29 @@ impl SimEvent {
         }
     }
 
+    /// The `(decision name, magnitude)` pair of the event, without the
+    /// position rendering of [`decision_fields`](Self::decision_fields)
+    /// — the metrics plane increments counters by this name from the
+    /// steady-state path, so it must not allocate.
+    pub fn metric_fields(&self) -> (&'static str, u64) {
+        match self {
+            SimEvent::SybilCreated { acquired, .. } => ("sybil_created", *acquired),
+            SimEvent::SybilsRetired { count, .. } => ("sybils_retired", *count as u64),
+            SimEvent::WorkerLeft { .. } => ("worker_left", 0),
+            SimEvent::WorkerCrashed { keys_lost, .. } => ("worker_crashed", *keys_lost),
+            SimEvent::WorkerJoined { acquired, .. } => ("worker_joined", *acquired),
+            SimEvent::InvitationSent { .. } => ("invitation_sent", 0),
+            SimEvent::InvitationRefused { .. } => ("invitation_refused", 0),
+            SimEvent::InvitationHonored { acquired, .. } => ("invitation_honored", *acquired),
+            SimEvent::LoadQueried { load, .. } => ("load_queried", *load),
+            SimEvent::NeighborGapSplit { .. } => ("neighbor_gap_split", 0),
+            SimEvent::LoadLied { reported, .. } => ("lied", *reported),
+            SimEvent::ProbeAgreed { estimate, .. } => ("probe_agree", *estimate),
+            SimEvent::ProbeConflict { estimate, .. } => ("probe_conflict", *estimate),
+            SimEvent::Quarantined { suspicion, .. } => ("quarantined", *suspicion),
+        }
+    }
+
     /// Flattens the event into the telemetry decision tuple
     /// `(name, worker, pos, value)` — stable lowercase names, hex ring
     /// positions — so both substrates emit identical `Decision`
@@ -399,6 +422,45 @@ mod tests {
             ("probe_conflict", 3, hex.clone(), 40)
         );
         assert_eq!(events[3].decision_fields(), ("quarantined", 3, hex, 3));
+    }
+
+    #[test]
+    fn metric_fields_agree_with_decision_fields() {
+        let events = [
+            ev(1, 0),
+            SimEvent::SybilsRetired {
+                tick: 2,
+                worker: 1,
+                count: 4,
+            },
+            SimEvent::WorkerCrashed {
+                tick: 3,
+                worker: 2,
+                keys_lost: 9,
+            },
+            SimEvent::InvitationHonored {
+                tick: 4,
+                worker: 2,
+                helper: 7,
+                acquired: 12,
+            },
+            SimEvent::LoadLied {
+                tick: 5,
+                worker: 3,
+                about: Id::from(5u64),
+                reported: 2,
+            },
+            SimEvent::Quarantined {
+                tick: 6,
+                worker: 3,
+                reporter: Id::from(5u64),
+                suspicion: 3,
+            },
+        ];
+        for e in &events {
+            let (name, _, _, value) = e.decision_fields();
+            assert_eq!(e.metric_fields(), (name, value), "{e:?}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!          fig13_14 text_ri text_ni text_inv messages extensions
 //!          worktick timeseries chord_hops chord_churn
 //!          maintenance_cost async_latency resilience byzantine
-//!          eventtime trace
+//!          eventtime trace metrics
 //!                                                        (default: all)
 //!
 //! The `perf` target (never part of the default set) runs the pinned
@@ -29,6 +29,7 @@ mod chordx;
 mod common;
 mod eventcmp;
 mod figures;
+mod metricsx;
 mod perf;
 mod resilience;
 mod tables;
@@ -136,6 +137,9 @@ fn main() {
     }
     if args.wants("trace") {
         tracex::trace(&args);
+    }
+    if args.wants("metrics") {
+        metricsx::metrics(&args);
     }
     // Opt-in only: wall-clock benchmarks are meaningless in a default
     // "regenerate everything" run and would slow it down.

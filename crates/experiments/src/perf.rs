@@ -298,6 +298,115 @@ fn eventnet(args: &Args) -> Measurement {
     }
 }
 
+/// Workers and churn deltas of the stats-cost scenario — the same
+/// 6 000-worker scale as `oracle_ring_large`, isolated to the fairness
+/// sweep the metrics plane replaced.
+const STATS_WORKERS: usize = 6_000;
+const STATS_TICKS: u64 = 400;
+/// Load deltas applied between consecutive sample points.
+const STATS_DELTAS_PER_TICK: usize = 64;
+
+/// Per-tick fairness statistics, incremental vs batch: replay one
+/// deterministic load-churn script twice — once updating a
+/// [`autobal_metrics::LoadDist`] per delta and reading its aggregates
+/// (`O(log L)` per delta), once re-sorting the full load vector and
+/// recomputing from scratch at every tick (`O(n log n)`) — and assert
+/// (untimed) that the two per-tick `gini_ppm`/percentile sequences are
+/// identical before reporting the measured speedup in the
+/// `naive_wall_ms`/`speedup_vs_naive` columns.
+fn stats_incremental(args: &Args) -> Measurement {
+    let seed = args.seed ^ 0x62;
+    let mut rng = substream(seed, 0, domains::PLACEMENT);
+    let loads: Vec<u64> = (0..STATS_WORKERS)
+        .map(|_| rng.gen_range(0..400u64))
+        .collect();
+    // The churn script: (worker, new load) per delta, fixed up front so
+    // both engines replay identical inputs.
+    let mut script: Vec<(usize, u64)> = Vec::new();
+    for _ in 0..STATS_TICKS {
+        for _ in 0..STATS_DELTAS_PER_TICK {
+            script.push((rng.gen_range(0..STATS_WORKERS), rng.gen_range(0..400u64)));
+        }
+    }
+
+    let incremental = |loads: &[u64]| -> Vec<(u64, u64)> {
+        let mut dist = autobal_metrics::LoadDist::new();
+        for &v in loads {
+            dist.insert(v);
+        }
+        let mut cur = loads.to_vec();
+        let mut out = Vec::with_capacity(STATS_TICKS as usize);
+        for tick in script.chunks(STATS_DELTAS_PER_TICK) {
+            for &(w, new) in tick {
+                dist.update(cur[w], new);
+                cur[w] = new;
+            }
+            out.push((dist.gini_ppm(), dist.percentile(99)));
+        }
+        out
+    };
+    let batch = |loads: &[u64]| -> Vec<(u64, u64)> {
+        let mut cur = loads.to_vec();
+        let mut out = Vec::with_capacity(STATS_TICKS as usize);
+        let mut scratch = Vec::with_capacity(cur.len());
+        for tick in script.chunks(STATS_DELTAS_PER_TICK) {
+            for &(w, new) in tick {
+                cur[w] = new;
+            }
+            scratch.clear();
+            scratch.extend_from_slice(&cur);
+            scratch.sort_unstable();
+            let n = scratch.len() as u64;
+            let total: u128 = scratch.iter().map(|&v| v as u128).sum();
+            let weighted: u128 = scratch
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as u128 + 1) * v as u128)
+                .sum();
+            out.push((
+                autobal_metrics::dist::gini_ppm_from_sums(n, total, weighted),
+                autobal_stats::fairness::percentile_sorted(&scratch, 99),
+            ));
+        }
+        out
+    };
+
+    // Warm, then best-of-N both ways; equality is asserted untimed.
+    assert_eq!(
+        incremental(&loads),
+        batch(&loads),
+        "incremental stats diverged from the batch recompute"
+    );
+    let mut inc_ms = f64::INFINITY;
+    let mut batch_ms = f64::INFINITY;
+    let mut allocs = None;
+    for _ in 0..ORACLE_REPS {
+        let (ms, _) = wall_ms(|| batch(&loads));
+        batch_ms = batch_ms.min(ms);
+        let (ms, (a, _)) = wall_ms(|| alloc_count(|| incremental(&loads)));
+        inc_ms = inc_ms.min(ms);
+        allocs = a;
+    }
+
+    let speedup = batch_ms / inc_ms;
+    println!(
+        "  stats_incremental: {} ticks x {} workers | incremental {:.1} ms | batch {:.1} ms | speedup {:.2}x",
+        STATS_TICKS, STATS_WORKERS, inc_ms, batch_ms, speedup
+    );
+    Measurement {
+        name: "stats_incremental",
+        substrate: "metrics",
+        units: "ticks",
+        work: STATS_TICKS,
+        wall_ms: inc_ms,
+        throughput: STATS_TICKS as f64 / (inc_ms / 1e3),
+        allocations: allocs,
+        peak_vnodes: None,
+        naive_wall_ms: Some(batch_ms),
+        speedup_vs_naive: Some(speedup),
+    }
+}
+
 /// Compares this run against a committed `BENCH_6.json`. Returns the
 /// regressions found (scenario name, baseline throughput, current).
 fn compare_baseline(
@@ -346,6 +455,7 @@ pub fn perf(args: &Args) {
         chord_protocol(args),
         event_substrate(args),
         eventnet(args),
+        stats_incremental(args),
     ];
 
     let body: Vec<String> = measurements.iter().map(Measurement::to_json).collect();

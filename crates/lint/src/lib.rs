@@ -41,7 +41,10 @@
 //! * **T — telemetry vocabulary** (`telemetry-vocab`): every
 //!   `SimEvent` variant has an emit site; decision names and
 //!   `MessageStatus`/`TraceBody` variants are covered by the trace
-//!   summary, the validate schema, and the golden-schema fixture.
+//!   summary, the validate schema, and the golden-schema fixture;
+//!   every metric name const is snake_case, enumerated in the
+//!   registry table, exercised by the golden metrics fixture, and
+//!   emitted by at least one use site.
 //!
 //! Findings are suppressible only via an audited annotation — a plain
 //! line comment on the offending line or standing alone on the line
@@ -422,6 +425,7 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/id/src",
     "crates/lint/src",
     "crates/meminstr/src",
+    "crates/metrics/src",
     "crates/stats/src",
     "crates/telemetry/src",
     "crates/viz/src",
@@ -429,7 +433,10 @@ pub const SCAN_ROOTS: &[&str] = &[
 ];
 
 /// Non-Rust inputs rule T checks coverage against.
-pub const RESOURCE_PATHS: &[&str] = &["tests/data/golden_schema.jsonl"];
+pub const RESOURCE_PATHS: &[&str] = &[
+    "tests/data/golden_schema.jsonl",
+    "tests/data/golden_metrics.jsonl",
+];
 
 /// Scans the whole workspace rooted at `root`.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {

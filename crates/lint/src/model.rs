@@ -62,14 +62,20 @@ pub fn crate_of(rel: &str) -> Option<String> {
 pub const LAYERS: &[(&str, &[&str])] = &[
     ("autobal-id", &[]),
     ("autobal-stats", &["autobal-id"]),
-    ("autobal-telemetry", &[]),
+    ("autobal-metrics", &["autobal-stats"]),
+    ("autobal-telemetry", &["autobal-metrics"]),
     ("autobal-meminstr", &[]),
     ("autobal-lint", &[]),
     ("autobal-chord", &["autobal-id", "autobal-telemetry"]),
     ("autobal-viz", &["autobal-id", "autobal-stats"]),
     (
         "autobal-core",
-        &["autobal-id", "autobal-stats", "autobal-telemetry"],
+        &[
+            "autobal-id",
+            "autobal-stats",
+            "autobal-telemetry",
+            "autobal-metrics",
+        ],
     ),
     (
         "autobal-workload",
@@ -85,6 +91,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "autobal-workload",
             "autobal-viz",
             "autobal-telemetry",
+            "autobal-metrics",
             "autobal-meminstr",
         ],
     ),
@@ -109,6 +116,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "autobal-workload",
             "autobal-viz",
             "autobal-telemetry",
+            "autobal-metrics",
             "autobal-meminstr",
         ],
     ),

@@ -69,6 +69,7 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
         || rel.starts_with("crates/chord/src/")
         || rel.starts_with("crates/workload/src/")
         || rel.starts_with("crates/telemetry/src/")
+        || rel.starts_with("crates/metrics/src/")
         || rel.starts_with("src/");
     if in_output_scope {
         rules.push(Rule::OutputDiscipline);
@@ -670,10 +671,38 @@ fn decision_names(file: &FileModel) -> Vec<(usize, String)> {
     names
 }
 
+/// The metric-name vocabulary: `pub const NAME: &str = "name";`
+/// declarations in `crates/metrics/src/names.rs`, token-matched so the
+/// registry table (`ALL`, whose entries are tuples, not bare string
+/// consts) is not swept in.
+fn metric_name_consts(file: &FileModel) -> Vec<(usize, String, String)> {
+    let mut out = Vec::new();
+    for w in file.toks.windows(8) {
+        let [kw, ident, colon, amp, ty, eq, lit, semi] = w else {
+            continue;
+        };
+        let shape = kw.kind == TokKind::Ident
+            && kw.text == "const"
+            && ident.kind == TokKind::Ident
+            && colon.text == ":"
+            && amp.text == "&"
+            && ty.text == "str"
+            && eq.text == "="
+            && lit.kind == TokKind::Str
+            && semi.text == ";";
+        if shape && !file.masked(kw.line) {
+            out.push((ident.line, ident.text.clone(), lit.text.clone()));
+        }
+    }
+    out
+}
+
 /// T — telemetry-vocabulary sync: every `SimEvent` variant has an emit
 /// site, every decision name and `MessageStatus` is covered by the
-/// golden-schema fixture, and the `TraceBody`/`MessageStatus` enums
-/// are fully handled by the trace summary and the validate schema.
+/// golden-schema fixture, the `TraceBody`/`MessageStatus` enums are
+/// fully handled by the trace summary and the validate schema, and the
+/// metric-name vocabulary stays closed (snake_case, in the registry
+/// table, in the golden metrics fixture, and actually emitted).
 pub fn check_telemetry(ws: &Workspace, out: &mut Vec<Finding>) {
     let schema = ws
         .resources
@@ -812,6 +841,88 @@ pub fn check_telemetry(ws: &Workspace, out: &mut Vec<Finding>) {
                         ),
                     );
                 }
+            }
+        }
+    }
+
+    let metrics_fixture = ws
+        .resources
+        .iter()
+        .find(|(path, _)| path.ends_with("golden_metrics.jsonl"));
+    if let Some(names) = ws.file("crates/metrics/src/names.rs") {
+        let consts = metric_name_consts(names);
+        if !consts.is_empty() && metrics_fixture.is_none() {
+            push(
+                out,
+                &names.rel,
+                1,
+                Rule::TelemetryVocab,
+                "metric vocabulary has no golden metrics fixture \
+                 (tests/data/golden_metrics.jsonl)"
+                    .to_string(),
+            );
+        }
+        for (line, ident, name) in &consts {
+            let well_formed = name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+            if !well_formed {
+                push(
+                    out,
+                    &names.rel,
+                    *line,
+                    Rule::TelemetryVocab,
+                    format!("metric name \"{name}\" is not snake_case"),
+                );
+            }
+            // The declaration is one use; the registry table entry in
+            // `ALL` is the second. A const never mentioned again is
+            // declared but unregistered.
+            let decl_file_uses = names
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident && t.text == *ident && !names.masked(t.line))
+                .count();
+            if decl_file_uses < 2 {
+                push(
+                    out,
+                    &names.rel,
+                    *line,
+                    Rule::TelemetryVocab,
+                    format!("metric `{ident}` is not enumerated in the registry table `ALL`"),
+                );
+            }
+            if let Some((_, text)) = metrics_fixture {
+                if !text.contains(&format!("\"{name}\"")) {
+                    push(
+                        out,
+                        &names.rel,
+                        *line,
+                        Rule::TelemetryVocab,
+                        format!("metric \"{name}\" is not covered by the golden metrics fixture"),
+                    );
+                }
+            }
+            // Emit site: some other first-party file references the
+            // const, or emits the name literally (event counters reuse
+            // the decision-name literals of `decision_fields`).
+            let emitted = ws.files.iter().any(|f| {
+                f.rel != names.rel
+                    && f.toks.iter().any(|t| {
+                        !f.masked(t.line)
+                            && ((t.kind == TokKind::Ident && t.text == *ident)
+                                || (t.kind == TokKind::Str && t.text == *name))
+                    })
+            });
+            if !emitted {
+                push(
+                    out,
+                    &names.rel,
+                    *line,
+                    Rule::TelemetryVocab,
+                    format!("metric \"{name}\" has no emit site outside its declaration"),
+                );
             }
         }
     }

@@ -98,8 +98,8 @@ fn corpus_findings_match_markers() {
 /// virtual workspace per directory, scanned together so cross-file
 /// rules (layering edges, cross-crate fallible calls, telemetry
 /// coverage) see all members at once. `.rs` members declare their
-/// virtual path as usual; a `.jsonl` member plays the golden-schema
-/// resource.
+/// virtual path as usual; a `.jsonl` member plays the workspace
+/// resource of the same name under `tests/data/`.
 fn fixture_groups() -> Vec<(String, Vec<(String, String)>)> {
     let dir = fixtures_dir();
     let mut dirs: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -136,7 +136,14 @@ fn fixture_groups() -> Vec<(String, Vec<(String, String)>)> {
                     inputs.push((rel, src));
                 }
                 Some("jsonl") => {
-                    inputs.push(("tests/data/golden_schema.jsonl".to_string(), src));
+                    // A `.jsonl` member plays the workspace resource of
+                    // the same name (golden_schema, golden_metrics, …).
+                    let file = m
+                        .file_name()
+                        .expect("file name")
+                        .to_string_lossy()
+                        .into_owned();
+                    inputs.push((format!("tests/data/{file}"), src));
                 }
                 _ => panic!("unexpected group member {}", m.display()),
             }

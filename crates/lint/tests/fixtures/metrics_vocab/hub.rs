@@ -1,0 +1,9 @@
+//@ path: crates/metrics/src/hub_fixture.rs
+// Emit sites for the group: by const reference for GOOD and
+// UNREGISTERED, by literal name for the uncovered and badly-cased
+// metrics. UNEMITTED is deliberately absent.
+use crate::names::{GOOD, UNREGISTERED};
+
+pub fn emit() -> [&'static str; 4] {
+    [GOOD, UNREGISTERED, "uncovered_metric", "BadCase"]
+}

@@ -1,0 +1,17 @@
+//@ path: crates/metrics/src/names.rs
+// Group fixture for the metric-name vocabulary: GOOD satisfies every
+// obligation; each of the others breaks exactly one — missing from the
+// registry table, missing from the golden metrics fixture, not
+// snake_case, or never emitted.
+pub const GOOD: &str = "good_metric";
+pub const UNREGISTERED: &str = "unregistered_metric"; //~ ERROR telemetry-vocab
+pub const UNCOVERED: &str = "uncovered_metric"; //~ ERROR telemetry-vocab
+pub const BAD_CASE: &str = "BadCase"; //~ ERROR telemetry-vocab
+pub const UNEMITTED: &str = "unemitted_metric"; //~ ERROR telemetry-vocab
+
+pub const ALL: &[(&str, u8, &str)] = &[
+    (GOOD, 0, "help"),
+    (UNCOVERED, 0, "help"),
+    (BAD_CASE, 0, "help"),
+    (UNEMITTED, 0, "help"),
+];

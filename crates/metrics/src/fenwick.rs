@@ -1,0 +1,197 @@
+//! Fenwick (binary indexed) tree over `u64` totals.
+//!
+//! The metrics plane keys these by *load value*: slot `v` holds either
+//! the number of workers whose load is exactly `v` (the count tree) or
+//! `v` times that number (the sum tree). Point updates and prefix
+//! queries are `O(log L)` in the tracked value bound `L`, which is what
+//! turns the per-tick fairness sweep into a per-delta increment.
+
+/// A Fenwick tree plus the raw per-slot values it was built from.
+///
+/// The raw mirror costs one extra `u64` per slot but buys two things:
+/// `O(1)` point reads (`count_at`), and exact rebuilds when the value
+/// domain grows past the current capacity — a plain Fenwick array
+/// cannot be extended in place because high slots cover ranges that
+/// reach back into the old prefix.
+#[derive(Clone, Debug, Default)]
+pub struct Fenwick {
+    /// 1-based Fenwick array; `tree[i]` covers raw slots `(i−lowbit(i), i]`.
+    tree: Vec<u64>,
+    /// 0-based raw slot values; `raw[v]` pairs with tree index `v + 1`.
+    raw: Vec<u64>,
+}
+
+impl Fenwick {
+    /// An empty tree over `slots` zero-valued slots.
+    pub fn with_slots(slots: usize) -> Self {
+        Fenwick {
+            tree: vec![0; slots + 1],
+            raw: vec![0; slots],
+        }
+    }
+
+    /// Number of addressable slots (valid indices are `0..slots()`).
+    pub fn slots(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Grow to at least `slots` slots, preserving contents. Rebuilds the
+    /// Fenwick array from the raw mirror in `O(slots)`; callers double
+    /// capacity so this amortises away.
+    pub fn grow_to(&mut self, slots: usize) {
+        if slots <= self.raw.len() {
+            return;
+        }
+        self.raw.resize(slots, 0);
+        self.tree.clear();
+        self.tree.resize(slots + 1, 0);
+        // Linear-time build: push each raw value to its slot, then fold
+        // every node into its parent once.
+        for (v, &x) in self.raw.iter().enumerate() {
+            self.tree[v + 1] += x;
+        }
+        for i in 1..=slots {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= slots {
+                self.tree[parent] += self.tree[i];
+            }
+        }
+    }
+
+    /// Add `delta` to slot `slot`.
+    pub fn add(&mut self, slot: usize, delta: u64) {
+        debug_assert!(slot < self.raw.len());
+        self.raw[slot] += delta;
+        let mut i = slot + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Subtract `delta` from slot `slot`. The slot must hold at least
+    /// `delta` (the metrics plane only removes what it inserted).
+    pub fn sub(&mut self, slot: usize, delta: u64) {
+        debug_assert!(slot < self.raw.len());
+        debug_assert!(self.raw[slot] >= delta);
+        self.raw[slot] -= delta;
+        let mut i = slot + 1;
+        while i < self.tree.len() {
+            self.tree[i] -= delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of slots `0..count` (i.e. the first `count` slots).
+    pub fn prefix(&self, count: usize) -> u64 {
+        let mut i = count.min(self.raw.len());
+        let mut acc = 0u64;
+        while i > 0 {
+            acc += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+
+    /// Current value of a single slot.
+    pub fn count_at(&self, slot: usize) -> u64 {
+        self.raw.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Smallest slot index whose prefix sum reaches `k` (1-based rank):
+    /// with counts in the slots, this is the value of the k-th smallest
+    /// element. `k` must be in `1..=prefix(slots())`.
+    pub fn select(&self, k: u64) -> usize {
+        debug_assert!(k >= 1 && k <= self.prefix(self.raw.len()));
+        let mut pos = 0usize; // 1-based tree position settled so far
+        let mut rem = k;
+        let mut step = self.tree.len().next_power_of_two() / 2;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] < rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        // `pos` is the largest tree index with prefix < k, so the k-th
+        // element lives in tree slot pos+1 = raw slot pos.
+        pos
+    }
+
+    /// Reset all slots to zero, keeping capacity.
+    pub fn clear(&mut self) {
+        self.tree.iter_mut().for_each(|x| *x = 0);
+        self.raw.iter_mut().for_each(|x| *x = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matches_naive() {
+        let mut f = Fenwick::with_slots(10);
+        let updates = [(0usize, 3u64), (4, 1), (9, 7), (4, 2), (1, 5)];
+        let mut naive = [0u64; 10];
+        for (s, d) in updates {
+            f.add(s, d);
+            naive[s] += d;
+        }
+        for i in 0..=10 {
+            assert_eq!(f.prefix(i), naive[..i].iter().sum::<u64>(), "prefix {i}");
+        }
+        f.sub(4, 2);
+        naive[4] -= 2;
+        for i in 0..=10 {
+            assert_eq!(f.prefix(i), naive[..i].iter().sum::<u64>(), "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut f = Fenwick::with_slots(3);
+        f.add(0, 2);
+        f.add(2, 5);
+        f.grow_to(17);
+        assert_eq!(f.slots(), 17);
+        assert_eq!(f.prefix(1), 2);
+        assert_eq!(f.prefix(3), 7);
+        assert_eq!(f.prefix(17), 7);
+        f.add(16, 1);
+        assert_eq!(f.prefix(17), 8);
+    }
+
+    #[test]
+    fn select_finds_kth_smallest() {
+        // Multiset {0, 0, 3, 5, 5, 5, 9} as counts per value slot.
+        let mut f = Fenwick::with_slots(12);
+        for (slot, c) in [(0usize, 2u64), (3, 1), (5, 3), (9, 1)] {
+            f.add(slot, c);
+        }
+        let expect = [0usize, 0, 3, 5, 5, 5, 9];
+        for (k, &v) in expect.iter().enumerate() {
+            assert_eq!(f.select(k as u64 + 1), v, "k={}", k + 1);
+        }
+    }
+
+    #[test]
+    fn select_on_power_of_two_boundary() {
+        let mut f = Fenwick::with_slots(8);
+        f.add(7, 1);
+        assert_eq!(f.select(1), 7);
+        f.add(0, 1);
+        assert_eq!(f.select(1), 0);
+        assert_eq!(f.select(2), 7);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut f = Fenwick::with_slots(5);
+        f.add(3, 4);
+        f.clear();
+        assert_eq!(f.slots(), 5);
+        assert_eq!(f.prefix(5), 0);
+    }
+}

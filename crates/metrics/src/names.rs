@@ -1,0 +1,218 @@
+//! The metric name vocabulary — the closed set of series the metrics
+//! plane may emit.
+//!
+//! Every name is declared as a `pub const` and enumerated in [`ALL`]
+//! with its kind and help text; the registry is built from this table
+//! and refuses names outside it. The lint T family reads this file
+//! syntactically and cross-checks three invariants: each const appears
+//! in `ALL`, each name is exercised by the golden metrics fixture, and
+//! each has at least one emit site in first-party code.
+//!
+//! Event-counter names are *identical* to the stable lowercase decision
+//! names of `SimEvent::decision_fields`, so a trace `Decision` record
+//! and a metrics counter increment always agree on vocabulary.
+
+use crate::registry::Kind;
+
+// Run progress counters.
+pub const TICKS: &str = "ticks";
+pub const TASKS_DONE: &str = "tasks_done";
+
+// Event counters — one per `SimEvent` decision name.
+pub const SYBIL_CREATED: &str = "sybil_created";
+pub const SYBILS_RETIRED: &str = "sybils_retired";
+pub const WORKER_LEFT: &str = "worker_left";
+pub const WORKER_CRASHED: &str = "worker_crashed";
+pub const WORKER_JOINED: &str = "worker_joined";
+pub const INVITATION_SENT: &str = "invitation_sent";
+pub const INVITATION_REFUSED: &str = "invitation_refused";
+pub const INVITATION_HONORED: &str = "invitation_honored";
+pub const LOAD_QUERIED: &str = "load_queried";
+pub const NEIGHBOR_GAP_SPLIT: &str = "neighbor_gap_split";
+pub const LIED: &str = "lied";
+pub const PROBE_AGREE: &str = "probe_agree";
+pub const PROBE_CONFLICT: &str = "probe_conflict";
+pub const QUARANTINED: &str = "quarantined";
+
+// Message-fate counters (protocol and event substrates).
+pub const MSG_DELIVERED: &str = "msg_delivered";
+pub const MSG_DROPPED: &str = "msg_dropped";
+pub const MSG_TIMED_OUT: &str = "msg_timed_out";
+pub const MSG_UNREACHABLE: &str = "msg_unreachable";
+
+// Fairness / ring-shape gauges, set at each sample point. All integer:
+// ratios are scaled to parts-per-million.
+pub const WORKERS_ACTIVE: &str = "workers_active";
+pub const WORKERS_IDLE: &str = "workers_idle";
+pub const VNODES: &str = "vnodes";
+pub const TASKS_REMAINING: &str = "tasks_remaining";
+pub const LOAD_TOTAL: &str = "load_total";
+pub const LOAD_MAX: &str = "load_max";
+pub const LOAD_P50: &str = "load_p50";
+pub const LOAD_P90: &str = "load_p90";
+pub const LOAD_P99: &str = "load_p99";
+pub const GINI_PPM: &str = "gini_ppm";
+pub const IMBALANCE_PPM: &str = "imbalance_ppm";
+
+// Log₂-bucketed histograms.
+pub const TRANSFER_SIZE: &str = "transfer_size";
+pub const MSG_RETRIES: &str = "msg_retries";
+
+/// The full registry table: `(name, kind, help)`.
+pub const ALL: &[(&str, Kind, &str)] = &[
+    (TICKS, Kind::Counter, "Simulation ticks executed."),
+    (TASKS_DONE, Kind::Counter, "Task units consumed by workers."),
+    (SYBIL_CREATED, Kind::Counter, "Sybil vnodes planted."),
+    (
+        SYBILS_RETIRED,
+        Kind::Counter,
+        "Idle Sybil retirement events.",
+    ),
+    (WORKER_LEFT, Kind::Counter, "Workers departed via churn."),
+    (
+        WORKER_CRASHED,
+        Kind::Counter,
+        "Workers crash-failed (fault plane).",
+    ),
+    (
+        WORKER_JOINED,
+        Kind::Counter,
+        "Waiting workers joined the ring.",
+    ),
+    (INVITATION_SENT, Kind::Counter, "Help invitations sent."),
+    (
+        INVITATION_REFUSED,
+        Kind::Counter,
+        "Invitations no predecessor honored.",
+    ),
+    (
+        INVITATION_HONORED,
+        Kind::Counter,
+        "Invitations honored by a helper.",
+    ),
+    (
+        LOAD_QUERIED,
+        Kind::Counter,
+        "Neighbor load probes answered.",
+    ),
+    (
+        NEIGHBOR_GAP_SPLIT,
+        Kind::Counter,
+        "Widest-gap splits chosen.",
+    ),
+    (LIED, Kind::Counter, "Byzantine distorted load answers."),
+    (
+        PROBE_AGREE,
+        Kind::Counter,
+        "Cross-check probe rounds that agreed.",
+    ),
+    (
+        PROBE_CONFLICT,
+        Kind::Counter,
+        "Cross-check probe rounds that conflicted.",
+    ),
+    (
+        QUARANTINED,
+        Kind::Counter,
+        "Reporters quarantined by the defense.",
+    ),
+    (MSG_DELIVERED, Kind::Counter, "Messages delivered."),
+    (
+        MSG_DROPPED,
+        Kind::Counter,
+        "Messages dropped by the network.",
+    ),
+    (
+        MSG_TIMED_OUT,
+        Kind::Counter,
+        "Messages that exhausted retries.",
+    ),
+    (
+        MSG_UNREACHABLE,
+        Kind::Counter,
+        "Messages to unreachable peers.",
+    ),
+    (WORKERS_ACTIVE, Kind::Gauge, "Active workers on the ring."),
+    (WORKERS_IDLE, Kind::Gauge, "Active workers with zero load."),
+    (VNODES, Kind::Gauge, "Virtual nodes on the ring."),
+    (TASKS_REMAINING, Kind::Gauge, "Task units not yet consumed."),
+    (LOAD_TOTAL, Kind::Gauge, "Sum of per-worker loads."),
+    (LOAD_MAX, Kind::Gauge, "Largest per-worker load."),
+    (
+        LOAD_P50,
+        Kind::Gauge,
+        "Median per-worker load (nearest rank).",
+    ),
+    (LOAD_P90, Kind::Gauge, "90th-percentile per-worker load."),
+    (LOAD_P99, Kind::Gauge, "99th-percentile per-worker load."),
+    (
+        GINI_PPM,
+        Kind::Gauge,
+        "Gini coefficient of loads, parts per million.",
+    ),
+    (
+        IMBALANCE_PPM,
+        Kind::Gauge,
+        "Max/mean load ratio, parts per million.",
+    ),
+    (
+        TRANSFER_SIZE,
+        Kind::Histogram,
+        "Tasks moved per acquisition.",
+    ),
+    (
+        MSG_RETRIES,
+        Kind::Histogram,
+        "Send attempts beyond the first, per message.",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let mut seen = BTreeSet::new();
+        for &(name, _, help) in ALL {
+            assert!(seen.insert(name), "duplicate metric name {name}");
+            assert!(!help.is_empty(), "{name} lacks help text");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name} is not snake_case"
+            );
+            assert!(name.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn event_counters_match_decision_vocabulary() {
+        // The decision names of core::trace::SimEvent::decision_fields,
+        // verbatim. If a SimEvent variant is added there, its name must
+        // be admitted here (and the lint fixture updated).
+        let decisions = [
+            "sybil_created",
+            "sybils_retired",
+            "worker_left",
+            "worker_crashed",
+            "worker_joined",
+            "invitation_sent",
+            "invitation_refused",
+            "invitation_honored",
+            "load_queried",
+            "neighbor_gap_split",
+            "lied",
+            "probe_agree",
+            "probe_conflict",
+            "quarantined",
+        ];
+        for d in decisions {
+            assert!(
+                ALL.iter().any(|&(n, k, _)| n == d && k == Kind::Counter),
+                "decision {d} has no counter"
+            );
+        }
+    }
+}

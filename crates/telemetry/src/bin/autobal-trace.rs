@@ -6,6 +6,9 @@
 //! autobal-trace validate FILE     schema-check a JSONL trace
 //! autobal-trace diff A B          first causal divergence of two
 //!                                 same-seed traces (exit 1 if any)
+//! autobal-trace timeseries FILE   metrics JSONL -> per-sample CSV
+//! autobal-trace export FILE       metrics JSONL -> Prometheus text
+//!                                 exposition (final sample)
 //! ```
 //!
 //! This binary is one of the two audited output endpoints of the
@@ -31,8 +34,31 @@ fn errln(line: &str) {
 }
 
 fn usage() -> ! {
-    errln("usage: autobal-trace <summary FILE | validate FILE | diff A B>");
+    errln("usage: autobal-trace <summary FILE | validate FILE | diff A B | timeseries FILE | export FILE>");
     std::process::exit(2);
+}
+
+/// Loads and structurally validates a metrics JSONL stream.
+fn load_metrics(path: &str) -> Vec<autobal_metrics::MetricsSample> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            errln(&format!("autobal-trace: cannot read {path}: {e}"));
+            std::process::exit(2);
+        }
+    };
+    let samples = match autobal_metrics::sample::parse_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            errln(&format!("autobal-trace: {path}: {e}"));
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = autobal_metrics::sample::validate_samples(&samples) {
+        errln(&format!("autobal-trace: {path}: {e}"));
+        std::process::exit(2);
+    }
+    samples
 }
 
 fn load(path: &str) -> Vec<TraceRecord> {
@@ -80,6 +106,23 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        (Some("timeseries"), 2) => {
+            let samples = load_metrics(&argv[1]);
+            outln(autobal_metrics::sample::timeseries_csv(&samples).trim_end());
+        }
+        (Some("export"), 2) => {
+            let samples = load_metrics(&argv[1]);
+            let Some(last) = samples.last() else {
+                errln(&format!("autobal-trace: {}: no samples to export", argv[1]));
+                std::process::exit(1);
+            };
+            let expo = autobal_metrics::expo::render_exposition(last);
+            if let Err(e) = autobal_metrics::expo::validate_exposition(&expo) {
+                errln(&format!("autobal-trace: internal exposition invalid: {e}"));
+                std::process::exit(1);
+            }
+            outln(expo.trim_end());
         }
         (Some("diff"), 3) => {
             let a = load(&argv[1]);

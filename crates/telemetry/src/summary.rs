@@ -47,11 +47,21 @@ pub struct Summary {
     pub decisions_by_name: BTreeMap<String, u64>,
     /// Span counts by span kind (strategy layer), sorted by kind.
     pub spans_by_kind: BTreeMap<String, u64>,
+    /// Decision counts by (span kind, decision name): which strategy
+    /// layer produced each decision — this is where the Byzantine
+    /// meta-counters (`lied`, `probe_agree`, `probe_conflict`,
+    /// `quarantined`) break down per strategy instead of only as
+    /// totals. Decisions outside any span (churn, crash plane) are
+    /// attributed to the pseudo-kind `-`.
+    pub decisions_by_strategy: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 /// Folds a record sequence into its [`Summary`].
 pub fn summarize(records: &[TraceRecord]) -> Summary {
     let mut s = Summary::default();
+    // Span id → kind, for attributing decisions to the strategy layer
+    // whose check produced them.
+    let mut span_kind: BTreeMap<u64, String> = BTreeMap::new();
     for rec in records {
         s.records += 1;
         s.last_time = s.last_time.max(rec.time);
@@ -68,10 +78,17 @@ pub fn summarize(records: &[TraceRecord]) -> Summary {
             TraceBody::SpanOpen { kind, .. } => {
                 s.spans += 1;
                 *s.spans_by_kind.entry(kind.clone()).or_insert(0) += 1;
+                span_kind.insert(rec.span, kind.clone());
             }
             TraceBody::Decision { name, .. } => {
                 s.decisions += 1;
                 *s.decisions_by_name.entry(name.clone()).or_insert(0) += 1;
+                let kind = span_kind.get(&rec.span).map(String::as_str).unwrap_or("-");
+                *s.decisions_by_strategy
+                    .entry(kind.to_string())
+                    .or_default()
+                    .entry(name.clone())
+                    .or_insert(0) += 1;
             }
             TraceBody::Message {
                 status, retries, ..
@@ -108,6 +125,11 @@ pub fn render_summary(s: &Summary) -> String {
     }
     for (name, n) in &s.decisions_by_name {
         out.push_str(&format!("  decisions[{name}] = {n}\n"));
+    }
+    for (kind, names) in &s.decisions_by_strategy {
+        for (name, n) in names {
+            out.push_str(&format!("  decisions[{kind}/{name}] = {n}\n"));
+        }
     }
     out
 }
@@ -212,6 +234,54 @@ mod tests {
         let text = render_summary(&s);
         assert!(text.contains("substrate=chord"));
         assert!(text.contains("timed_out=1"));
+    }
+
+    #[test]
+    fn decisions_break_down_per_strategy_layer() {
+        // Two layers emitting the same meta-counter name, plus one
+        // decision outside any span: the per-strategy table must keep
+        // them apart while the flat table sums them.
+        let mut t = Trace::new(true);
+        t.run_start(0, "chord", "smart", 3);
+        let a = t.open_span(5, "crosscheck", 1);
+        t.decision(5, "lied", 1, "aa", 7);
+        t.decision(5, "probe_conflict", 1, "aa", 7);
+        t.close_span(5, a);
+        let b = t.open_span(10, "smart", 2);
+        t.decision(10, "lied", 2, "bb", 3);
+        t.close_span(10, b);
+        t.decision(11, "worker_left", 4, "", 0);
+        t.run_end(12, true);
+        let s = summarize(t.records());
+        assert_eq!(s.decisions_by_name.get("lied"), Some(&2));
+        assert_eq!(
+            s.decisions_by_strategy
+                .get("crosscheck")
+                .and_then(|m| m.get("lied")),
+            Some(&1)
+        );
+        assert_eq!(
+            s.decisions_by_strategy
+                .get("crosscheck")
+                .and_then(|m| m.get("probe_conflict")),
+            Some(&1)
+        );
+        assert_eq!(
+            s.decisions_by_strategy
+                .get("smart")
+                .and_then(|m| m.get("lied")),
+            Some(&1)
+        );
+        assert_eq!(
+            s.decisions_by_strategy
+                .get("-")
+                .and_then(|m| m.get("worker_left")),
+            Some(&1)
+        );
+        let text = render_summary(&s);
+        assert!(text.contains("decisions[crosscheck/lied] = 1"));
+        assert!(text.contains("decisions[smart/lied] = 1"));
+        assert!(text.contains("decisions[-/worker_left] = 1"));
     }
 
     #[test]

@@ -11,5 +11,5 @@ pub mod ascii;
 pub mod csv;
 pub mod svg;
 
-pub use ascii::render_histogram;
-pub use svg::{BarChart, LineChart, RingScatter};
+pub use ascii::{render_histogram, render_load_bars, render_ring, sparkline, RingMark};
+pub use svg::{BarChart, LineChart, RingHeat, RingHeatSlot, RingScatter};

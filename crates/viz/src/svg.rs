@@ -351,6 +351,137 @@ impl RingScatter {
     }
 }
 
+/// One worker on a [`RingHeat`] dashboard: position as a unit-circle
+/// fraction (0 at 12 o'clock, clockwise), plus the plain numbers the
+/// renderer colors by. Metric-agnostic by design — the caller decides
+/// what "load" means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingHeatSlot {
+    pub label: u64,
+    /// Position around the ring in `[0, 1)`.
+    pub frac: f64,
+    pub load: u64,
+    /// Virtual nodes (1 + Sybils); `> 1` draws sybil tick marks.
+    pub vnodes: u64,
+    /// Quarantine marker: draws a warning ring around the node.
+    pub flagged: bool,
+}
+
+/// The live-monitor ring: each worker's *ownership arc* (from its
+/// predecessor to itself, the key range it serves) stroked by load
+/// heat, node dots sized by virtual-node count, and quarantine rings.
+#[derive(Debug, Clone)]
+pub struct RingHeat {
+    pub title: String,
+    pub slots: Vec<RingHeatSlot>,
+    pub size: u32,
+}
+
+/// Linear blue→red heat color for `value / max`.
+fn heat_color(value: u64, max: u64) -> String {
+    let t = if max == 0 {
+        0.0
+    } else {
+        (value as f64 / max as f64).clamp(0.0, 1.0)
+    };
+    let r = (40.0 + t * 180.0) as u32;
+    let b = (200.0 - t * 160.0) as u32;
+    format!("#{r:02x}50{b:02x}")
+}
+
+impl RingHeat {
+    pub fn new(title: impl Into<String>, slots: Vec<RingHeatSlot>) -> RingHeat {
+        RingHeat {
+            title: title.into(),
+            slots,
+            size: 520,
+        }
+    }
+
+    /// Renders the dashboard ring to an SVG document.
+    pub fn to_svg(&self) -> String {
+        let s = self.size as f64;
+        let (cx, cy, r) = (s / 2.0, s / 2.0 + 10.0, s / 2.0 - 50.0);
+        let xy = |frac: f64| -> (f64, f64) {
+            let theta = 2.0 * std::f64::consts::PI * frac;
+            (cx + r * theta.sin(), cy - r * theta.cos())
+        };
+        let mut slots = self.slots.clone();
+        slots.sort_by(|a, b| a.frac.total_cmp(&b.frac));
+        let max_load = slots.iter().map(|t| t.load).max().unwrap_or(0);
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{s}\" height=\"{}\" \
+             viewBox=\"0 0 {s} {}\" font-family=\"sans-serif\">\n",
+            s + 20.0,
+            s + 20.0
+        ));
+        out.push_str(&format!(
+            "<text x=\"{cx}\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+            escape(&self.title)
+        ));
+        out.push_str(&format!(
+            "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"{r}\" fill=\"none\" stroke=\"#ddd\"/>\n"
+        ));
+        // Ownership arcs: worker i serves the arc from its predecessor
+        // (wrapping) to itself, drawn clockwise and colored by load.
+        let n = slots.len();
+        for (i, slot) in slots.iter().enumerate() {
+            let pred = if n < 2 {
+                // A single worker owns the whole ring; approximate the
+                // full circle with an arc that starts just after itself.
+                slot.frac + 1e-4
+            } else {
+                slots[(i + n - 1) % n].frac
+            };
+            let span = (slot.frac - pred).rem_euclid(1.0);
+            let (x0, y0) = xy(pred);
+            let (x1, y1) = xy(slot.frac);
+            let large = if span > 0.5 { 1 } else { 0 };
+            out.push_str(&format!(
+                "<path d=\"M {x0:.1} {y0:.1} A {r:.1} {r:.1} 0 {large} 1 {x1:.1} {y1:.1}\" \
+                 fill=\"none\" stroke=\"{}\" stroke-width=\"7\"/>\n",
+                heat_color(slot.load, max_load)
+            ));
+        }
+        // Node dots, sybil ticks, quarantine rings.
+        for slot in &slots {
+            let (x, y) = xy(slot.frac);
+            if slot.flagged {
+                out.push_str(&format!(
+                    "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"11\" fill=\"none\" \
+                     stroke=\"#d62728\" stroke-width=\"2\" stroke-dasharray=\"3 2\"/>\n"
+                ));
+            }
+            out.push_str(&format!(
+                "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"5\" fill=\"#333\"/>\n"
+            ));
+            // One tick per Sybil, fanned outward from the node.
+            for k in 1..slot.vnodes.min(9) {
+                let off = slot.frac + k as f64 * 0.004;
+                let theta = 2.0 * std::f64::consts::PI * off;
+                let (ox, oy) = (theta.sin(), -theta.cos());
+                out.push_str(&format!(
+                    "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" \
+                     stroke=\"#b47cc7\" stroke-width=\"2\"/>\n",
+                    cx + (r + 8.0) * ox,
+                    cy + (r + 8.0) * oy,
+                    cx + (r + 16.0) * ox,
+                    cy + (r + 16.0) * oy
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "<text x=\"{cx}\" y=\"{}\" text-anchor=\"middle\" font-size=\"11\" fill=\"#555\">\
+             arc heat = load · purple ticks = sybils · dashed red = quarantined</text>\n",
+            s + 12.0
+        ));
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
 fn escape(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
@@ -406,6 +537,57 @@ mod tests {
         let svg = c.to_svg();
         assert_eq!(svg.matches("<polyline").count(), 0);
         assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn ring_heat_draws_arcs_markers_and_ticks() {
+        let slots = vec![
+            RingHeatSlot {
+                label: 0,
+                frac: 0.1,
+                load: 30,
+                vnodes: 1,
+                flagged: false,
+            },
+            RingHeatSlot {
+                label: 1,
+                frac: 0.6,
+                load: 5,
+                vnodes: 3,
+                flagged: true,
+            },
+        ];
+        let svg = RingHeat::new("ring", slots).to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2, "one ownership arc each");
+        assert_eq!(
+            svg.matches("stroke-dasharray").count(),
+            1,
+            "quarantine ring"
+        );
+        assert_eq!(svg.matches("<line").count(), 2, "two sybil ticks");
+        // Heaviest load is full red, lightest near blue.
+        assert!(svg.contains(&heat_color(30, 30)));
+        assert!(svg.contains(&heat_color(5, 30)));
+    }
+
+    #[test]
+    fn ring_heat_single_and_empty_are_safe() {
+        let svg = RingHeat::new(
+            "one",
+            vec![RingHeatSlot {
+                label: 0,
+                frac: 0.0,
+                load: 1,
+                vnodes: 1,
+                flagged: false,
+            }],
+        )
+        .to_svg();
+        assert!(svg.contains("</svg>"));
+        let empty = RingHeat::new("none", Vec::new()).to_svg();
+        assert!(empty.contains("</svg>"));
     }
 
     #[test]

@@ -60,11 +60,13 @@ use autobal_core::strategy::{
 use autobal_core::trace::{EventLog, SimEvent};
 use autobal_core::StrategyKind;
 use autobal_id::{ring, Id};
+use autobal_metrics::{names as metric_names, MetricsHub, MetricsSample, MetricsSink, RingSlot};
 use autobal_stats::rng::{domains, substream, DetRng};
 use autobal_telemetry::{MessageStatus, Trace, TraceSink};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use crate::protocol_sim::fate_metric;
 pub use crate::protocol_sim::ProtocolSimConfig;
 
 /// Substrate timer tokens: the top two bits carry the kind, the low 62
@@ -162,6 +164,10 @@ pub struct EventRun {
     pub lookup_timeouts: u64,
     pub events: EventLog,
     pub trace: Trace,
+    /// Streaming metrics samples (empty unless
+    /// [`ProtocolSimConfig::record_metrics`]). Sample times are the
+    /// **event clock**, not ticks.
+    pub metrics: Vec<MetricsSample>,
 }
 
 /// One physical worker: its primary Chord node plus live Sybil nodes.
@@ -220,6 +226,13 @@ struct EventSubstrate {
     lookup_timeouts: u64,
     events: EventLog,
     trace: Trace,
+    /// Streaming metrics recorder; free when disabled.
+    hub: MetricsHub,
+    /// Metrics sampling cadence in ticks (None = metrics off).
+    metrics_every: Option<u64>,
+    /// Cumulative quarantine decisions against each worker, for the
+    /// ring snapshot's quarantine markers.
+    quarantined_marks: Vec<u64>,
 }
 
 impl EventSubstrate {
@@ -231,7 +244,64 @@ impl EventSubstrate {
             let (name, worker, pos, value) = event.decision_fields();
             self.trace.decision(self.tick, name, worker, &pos, value);
         }
+        if self.hub.enabled() {
+            let (name, value) = event.metric_fields();
+            self.hub.event(name, value);
+        }
         self.events.push(event);
+    }
+
+    /// Snapshot the metrics registry plus a batch fairness sweep over
+    /// the current per-worker loads (the byte-identical twin of the
+    /// protocol substrate's sampler), stamped with the event clock.
+    fn sample_metrics(&mut self) {
+        if !self.hub.enabled() {
+            return;
+        }
+        let vnodes: usize = self
+            .workers
+            .iter()
+            .filter(|w| w.active)
+            .map(|w| 1 + w.sybils.len())
+            .sum();
+        self.hub.set_gauge(metric_names::VNODES, vnodes as u64);
+        self.hub
+            .set_gauge(metric_names::TASKS_REMAINING, self.net.total_keys() as u64);
+        let mut loads = self.hub.take_scratch();
+        let mut ring = Vec::new();
+        for w in 0..self.workers.len() {
+            let Some(worker) = self.workers.get(w) else {
+                continue;
+            };
+            if !worker.active {
+                continue;
+            }
+            let load = self.worker_load(w);
+            loads.push(load);
+            if self.hub.ring_enabled() {
+                ring.push(RingSlot {
+                    worker: w as u64,
+                    pos: worker.primary.to_hex(),
+                    load,
+                    sybils: worker.sybils.len() as u64,
+                    quarantined: self.quarantined_marks.get(w).copied().unwrap_or(0),
+                });
+            }
+        }
+        let now = self.wire.now();
+        self.hub.sample_batch(now, &mut loads, ring);
+        self.hub.put_scratch(loads);
+    }
+
+    /// Samples on the configured tick cadence (called after each
+    /// completed work phase) and at job completion.
+    fn maybe_sample_metrics(&mut self) {
+        let Some(k) = self.metrics_every else {
+            return;
+        };
+        if self.tick.is_multiple_of(k) || self.net.total_keys() == 0 {
+            self.sample_metrics();
+        }
     }
 
     fn worker_load(&self, w: usize) -> u64 {
@@ -374,12 +444,14 @@ impl EventSubstrate {
             // ring — the synchronous substrate's DuplicateId path.
             self.trace
                 .message(tick, "join", MessageStatus::Delivered, 0);
+            self.hub.message(metric_names::MSG_DELIVERED, 0);
             return Err(ActionError::Occupied);
         }
         let retries_before = self.wire.stats.retries;
         let Some(req) = self.wire.join_tracked(pos, contact) else {
             self.trace
                 .message(tick, "join", MessageStatus::Unreachable, 0);
+            self.hub.message(metric_names::MSG_UNREACHABLE, 0);
             return Err(ActionError::Unreachable);
         };
         let owner = self.await_join(req).and_then(|l| l.owner);
@@ -390,6 +462,7 @@ impl EventSubstrate {
             self.wire.fail(pos);
             self.trace
                 .message(tick, "join", MessageStatus::TimedOut, retries);
+            self.hub.message(metric_names::MSG_TIMED_OUT, retries);
             return Err(ActionError::TimedOut);
         }
         let joined = self.net.join_with_retry(pos, contact);
@@ -403,6 +476,7 @@ impl EventSubstrate {
             ) => MessageStatus::Unreachable,
         };
         self.trace.message(tick, "join", status, retries);
+        self.hub.message(fate_metric(status), retries);
         match joined {
             Ok(()) => {}
             Err(e) => {
@@ -519,6 +593,7 @@ impl EventSubstrate {
     /// vnodes (primary first, then Sybils) — identical to the
     /// protocol substrate, plus per-worker accounting for Gini.
     fn work_phase(&mut self) {
+        let mut consumed = 0u64;
         for w in 0..self.workers.len() {
             let Some(p) = self.workers.get(w) else {
                 continue;
@@ -535,11 +610,13 @@ impl EventSubstrate {
                 }
             }
             if popped {
+                consumed += 1;
                 if let Some(t) = self.tasks_done.get_mut(w) {
                     *t += 1;
                 }
             }
         }
+        self.hub.add(metric_names::TASKS_DONE, consumed);
     }
 
     /// Harvests completed wire lookups into the latency tail.
@@ -684,6 +761,7 @@ impl ChurnOps for EventSubstrate {
         };
         let retries = self.wire.stats.retries - retries_before;
         self.trace.message(tick, "join", status, retries);
+        self.hub.message(fate_metric(status), retries);
         if !ok {
             // A worker whose join dies on the wire stays in the
             // waiting pool and tries again next tick.
@@ -802,6 +880,7 @@ impl Actions for EventNodeCtx<'_> {
                 self.sub
                     .trace
                     .message(tick, "load_query", MessageStatus::TimedOut, 0);
+                self.sub.hub.message(metric_names::MSG_TIMED_OUT, 0);
                 return Err(ActionError::TimedOut);
             };
             match ev {
@@ -809,6 +888,7 @@ impl Actions for EventNodeCtx<'_> {
                     self.sub
                         .trace
                         .message(tick, "load_query", MessageStatus::TimedOut, 0);
+                    self.sub.hub.message(metric_names::MSG_TIMED_OUT, 0);
                     return Err(ActionError::TimedOut);
                 }
                 AppEvent::Timer { token: t } => self.sub.defer_timer(t),
@@ -820,6 +900,7 @@ impl Actions for EventNodeCtx<'_> {
                     self.sub
                         .trace
                         .message(tick, "load_query", MessageStatus::Delivered, 0);
+                    self.sub.hub.message(metric_names::MSG_DELIVERED, 0);
                     let worker = self.worker;
                     self.sub.emit_event(SimEvent::LoadQueried {
                         tick,
@@ -837,6 +918,7 @@ impl Actions for EventNodeCtx<'_> {
                     self.sub
                         .trace
                         .message(tick, "load_query", MessageStatus::Unreachable, 0);
+                    self.sub.hub.message(metric_names::MSG_UNREACHABLE, 0);
                     return Err(ActionError::Unreachable);
                 }
                 AppEvent::Msg {
@@ -869,6 +951,7 @@ impl Actions for EventNodeCtx<'_> {
                 self.sub
                     .trace
                     .message(tick, "load_query", MessageStatus::TimedOut, 0);
+                self.sub.hub.message(metric_names::MSG_TIMED_OUT, 0);
                 return Err(ActionError::TimedOut);
             };
             match ev {
@@ -876,6 +959,7 @@ impl Actions for EventNodeCtx<'_> {
                     self.sub
                         .trace
                         .message(tick, "load_query", MessageStatus::TimedOut, 0);
+                    self.sub.hub.message(metric_names::MSG_TIMED_OUT, 0);
                     return Err(ActionError::TimedOut);
                 }
                 AppEvent::Timer { token: t } => self.sub.defer_timer(t),
@@ -887,6 +971,7 @@ impl Actions for EventNodeCtx<'_> {
                     self.sub
                         .trace
                         .message(tick, "load_query", MessageStatus::Delivered, 0);
+                    self.sub.hub.message(metric_names::MSG_DELIVERED, 0);
                     return Ok(load);
                 }
                 AppEvent::Msg {
@@ -897,6 +982,7 @@ impl Actions for EventNodeCtx<'_> {
                     self.sub
                         .trace
                         .message(tick, "load_query", MessageStatus::Unreachable, 0);
+                    self.sub.hub.message(metric_names::MSG_UNREACHABLE, 0);
                     return Err(ActionError::Unreachable);
                 }
                 AppEvent::Msg {
@@ -933,6 +1019,15 @@ impl Actions for EventNodeCtx<'_> {
     fn note_quarantine(&mut self, reporter: Id, suspicion: u64) {
         let tick = self.sub.tick;
         let worker = self.worker;
+        if let Some(mark) = self
+            .sub
+            .owner_of
+            .get(&reporter)
+            .copied()
+            .and_then(|owner| self.sub.quarantined_marks.get_mut(owner))
+        {
+            *mark += 1;
+        }
         self.sub.emit_event(SimEvent::Quarantined {
             tick,
             worker,
@@ -1060,11 +1155,13 @@ impl Actions for EventNodeCtx<'_> {
             self.sub
                 .trace
                 .message(tick, "invitation", MessageStatus::Dropped, 0);
+            self.sub.hub.message(metric_names::MSG_DROPPED, 0);
             return InviteOutcome::Unreachable;
         }
         self.sub
             .trace
             .message(tick, "invitation", MessageStatus::Delivered, 0);
+        self.sub.hub.message(metric_names::MSG_DELIVERED, 0);
         self.sub.emit_event(SimEvent::InvitationSent {
             tick,
             worker: inviter,
@@ -1252,7 +1349,16 @@ fn run_event_inner(
             trace.run_start(0, "event", cfg.proto.strategy.label(), seed);
             trace
         },
+        hub: MetricsHub::new(cfg.proto.record_metrics).with_ring(cfg.proto.metrics_ring),
+        metrics_every: cfg
+            .proto
+            .record_metrics
+            .then(|| cfg.proto.metrics_interval.unwrap_or(1).max(1)),
+        quarantined_marks: vec![0; slots],
     };
+    if sub.metrics_every.is_some() {
+        sub.sample_metrics();
+    }
 
     // First tick boundary after one tick's worth of event time; the
     // staggered stabilize timers armed by `from_ids` already populate
@@ -1281,6 +1387,7 @@ fn run_event_inner(
                     sub.tick += 1;
                     let tick = sub.tick;
                     sub.net.set_clock(tick);
+                    sub.hub.inc(metric_names::TICKS);
                     // Substrate crash plane lands before anything else.
                     while sub
                         .crash_schedule
@@ -1309,6 +1416,7 @@ fn run_event_inner(
                     } else {
                         sub.work_phase();
                         sub.net.maintenance_cycle();
+                        sub.maybe_sample_metrics();
                     }
                     sub.drain_lookups();
                     let next = sub.wire.now() + tick_len;
@@ -1324,6 +1432,7 @@ fn run_event_inner(
                 TAG_POSTCHECK => {
                     sub.work_phase();
                     sub.net.maintenance_cycle();
+                    sub.maybe_sample_metrics();
                 }
                 // Stale probe deadline: its probe already resolved.
                 _ => {}
@@ -1356,6 +1465,7 @@ fn run_event_inner(
         lookup_timeouts: sub.lookup_timeouts,
         events: sub.events,
         trace: sub.trace,
+        metrics: sub.hub.into_samples(),
     }
 }
 

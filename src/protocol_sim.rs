@@ -33,6 +33,7 @@ use autobal_core::strategy::{
 use autobal_core::trace::{EventLog, SimEvent};
 use autobal_core::StrategyKind;
 use autobal_id::{ring, Id};
+use autobal_metrics::{names as metric_names, MetricsHub, MetricsSample, MetricsSink, RingSlot};
 use autobal_stats::rng::{domains, substream, DetRng};
 use autobal_telemetry::{MessageStatus, Trace, TraceSink};
 use rand::Rng;
@@ -88,6 +89,13 @@ pub struct ProtocolSimConfig {
     /// Cross-checking probe defense wrapped around the Sybil strategy
     /// (see `autobal_core::strategy::crosscheck`). Disabled by default.
     pub cross_check: CrossCheckConfig,
+    /// Record streaming metrics samples (see `autobal-metrics`).
+    pub record_metrics: bool,
+    /// Metrics sampling cadence in ticks; defaults to every tick.
+    pub metrics_interval: Option<u64>,
+    /// Include a per-worker ring snapshot in each metrics sample
+    /// (monitor food; O(workers) per sample).
+    pub metrics_ring: bool,
 }
 
 impl Default for ProtocolSimConfig {
@@ -115,6 +123,9 @@ impl Default for ProtocolSimConfig {
             crash_retirement: false,
             adversary: AdversaryPlan::default(),
             cross_check: CrossCheckConfig::default(),
+            record_metrics: false,
+            metrics_interval: None,
+            metrics_ring: false,
         }
     }
 }
@@ -150,6 +161,19 @@ pub struct ProtocolRun {
     /// Flight-recorder trace (empty unless
     /// [`ProtocolSimConfig::record_trace`]).
     pub trace: Trace,
+    /// Streaming metrics samples (empty unless
+    /// [`ProtocolSimConfig::record_metrics`]).
+    pub metrics: Vec<MetricsSample>,
+}
+
+/// Metric counter name for a message fate.
+pub(crate) fn fate_metric(status: MessageStatus) -> &'static str {
+    match status {
+        MessageStatus::Delivered => metric_names::MSG_DELIVERED,
+        MessageStatus::Dropped => metric_names::MSG_DROPPED,
+        MessageStatus::TimedOut => metric_names::MSG_TIMED_OUT,
+        MessageStatus::Unreachable => metric_names::MSG_UNREACHABLE,
+    }
 }
 
 /// One physical worker: its primary Chord node plus live Sybil nodes.
@@ -197,6 +221,11 @@ struct ChordSubstrate {
     events: EventLog,
     /// Span-structured flight recorder; free when disabled.
     trace: Trace,
+    /// Streaming metrics recorder; free when disabled.
+    hub: MetricsHub,
+    /// Cumulative quarantine decisions attributed to each worker's
+    /// defense, for the ring snapshot's quarantine markers.
+    quarantined_marks: Vec<u64>,
 }
 
 impl ChordSubstrate {
@@ -209,7 +238,51 @@ impl ChordSubstrate {
             let (name, worker, pos, value) = event.decision_fields();
             self.trace.decision(self.tick, name, worker, &pos, value);
         }
+        if self.hub.enabled() {
+            let (name, value) = event.metric_fields();
+            self.hub.event(name, value);
+        }
         self.events.push(event);
+    }
+
+    /// Snapshot the metrics registry plus a batch fairness sweep over
+    /// the current per-worker loads (key movement happens inside the
+    /// network here, so there is no per-delta hook to maintain a
+    /// `LoadDist`; the batch sweep emits byte-identical gauges).
+    fn sample_metrics(&mut self) {
+        if !self.hub.enabled() {
+            return;
+        }
+        let vnodes: usize = self
+            .workers
+            .iter()
+            .filter(|w| w.active)
+            .map(|w| 1 + w.sybils.len())
+            .sum();
+        self.hub.set_gauge(metric_names::VNODES, vnodes as u64);
+        self.hub
+            .set_gauge(metric_names::TASKS_REMAINING, self.net.total_keys() as u64);
+        let mut loads = self.hub.take_scratch();
+        let mut ring = Vec::new();
+        for w in 0..self.workers.len() {
+            if !self.workers[w].active {
+                continue;
+            }
+            let load = self.worker_load(w);
+            loads.push(load);
+            if self.hub.ring_enabled() {
+                ring.push(RingSlot {
+                    worker: w as u64,
+                    pos: self.workers[w].primary.to_hex(),
+                    load,
+                    sybils: self.workers[w].sybils.len() as u64,
+                    quarantined: self.quarantined_marks[w],
+                });
+            }
+        }
+        let tick = self.tick;
+        self.hub.sample_batch(tick, &mut loads, ring);
+        self.hub.put_scratch(loads);
     }
 
     fn worker_load(&self, w: usize) -> u64 {
@@ -259,21 +332,22 @@ impl ChordSubstrate {
         let contact = self.workers[w].primary;
         let retries_before = self.net.stats.retries;
         let joined = self.net.join_with_retry(pos, contact);
+        // An occupied position still means the join reached the
+        // ring — only the fault plane produces non-delivery here.
+        let status = match &joined {
+            Ok(()) | Err(NetworkError::DuplicateId(_)) => MessageStatus::Delivered,
+            Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
+            Err(
+                NetworkError::EmptyNetwork
+                | NetworkError::UnknownNode(_)
+                | NetworkError::LookupFailed { .. },
+            ) => MessageStatus::Unreachable,
+        };
+        let retries = self.net.stats.retries - retries_before;
         if self.trace.enabled() {
-            // An occupied position still means the join reached the
-            // ring — only the fault plane produces non-delivery here.
-            let status = match &joined {
-                Ok(()) | Err(NetworkError::DuplicateId(_)) => MessageStatus::Delivered,
-                Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
-                Err(
-                    NetworkError::EmptyNetwork
-                    | NetworkError::UnknownNode(_)
-                    | NetworkError::LookupFailed { .. },
-                ) => MessageStatus::Unreachable,
-            };
-            let retries = self.net.stats.retries - retries_before;
             self.trace.message(self.tick, "join", status, retries);
         }
+        self.hub.message(fate_metric(status), retries);
         match joined {
             Ok(()) => {}
             Err(NetworkError::DuplicateId(_)) => return Err(ActionError::Occupied),
@@ -466,20 +540,21 @@ impl ChurnOps for ChordSubstrate {
         // and tries again next tick.
         let retries_before = self.net.stats.retries;
         let joined = self.net.join_with_retry(pos, contact);
+        let status = match &joined {
+            Ok(()) => MessageStatus::Delivered,
+            Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
+            Err(
+                NetworkError::DuplicateId(_)
+                | NetworkError::EmptyNetwork
+                | NetworkError::UnknownNode(_)
+                | NetworkError::LookupFailed { .. },
+            ) => MessageStatus::Unreachable,
+        };
+        let retries = self.net.stats.retries - retries_before;
         if self.trace.enabled() {
-            let status = match &joined {
-                Ok(()) => MessageStatus::Delivered,
-                Err(NetworkError::TimedOut { .. }) => MessageStatus::TimedOut,
-                Err(
-                    NetworkError::DuplicateId(_)
-                    | NetworkError::EmptyNetwork
-                    | NetworkError::UnknownNode(_)
-                    | NetworkError::LookupFailed { .. },
-                ) => MessageStatus::Unreachable,
-            };
-            let retries = self.net.stats.retries - retries_before;
             self.trace.message(self.tick, "join", status, retries);
         }
+        self.hub.message(fate_metric(status), retries);
         if joined.is_err() {
             self.waiting.push(w);
             return;
@@ -575,6 +650,7 @@ impl Actions for ChordNodeCtx<'_> {
             self.sub
                 .trace
                 .message(tick, "load_query", MessageStatus::TimedOut, 0);
+            self.sub.hub.message(metric_names::MSG_TIMED_OUT, 0);
             return Err(ActionError::TimedOut);
         }
         match self.sub.net.node(neighbor).map(|n| n.keys.len() as u64) {
@@ -582,6 +658,7 @@ impl Actions for ChordNodeCtx<'_> {
                 self.sub
                     .trace
                     .message(tick, "load_query", MessageStatus::Delivered, 0);
+                self.sub.hub.message(metric_names::MSG_DELIVERED, 0);
                 let worker = self.worker;
                 // The querier only ever sees what the neighbor *says*.
                 let load = self.sub.reported_load(neighbor, neighbor, true_load);
@@ -599,6 +676,7 @@ impl Actions for ChordNodeCtx<'_> {
                 self.sub
                     .trace
                     .message(tick, "load_query", MessageStatus::Unreachable, 0);
+                self.sub.hub.message(metric_names::MSG_UNREACHABLE, 0);
                 Err(ActionError::Unreachable)
             }
         }
@@ -616,12 +694,14 @@ impl Actions for ChordNodeCtx<'_> {
             self.sub
                 .trace
                 .message(tick, "load_query", MessageStatus::TimedOut, 0);
+            self.sub.hub.message(metric_names::MSG_TIMED_OUT, 0);
             return Err(ActionError::TimedOut);
         }
         if self.sub.net.node(relay).is_none() {
             self.sub
                 .trace
                 .message(tick, "load_query", MessageStatus::Unreachable, 0);
+            self.sub.hub.message(metric_names::MSG_UNREACHABLE, 0);
             return Err(ActionError::Unreachable);
         }
         match self.sub.net.node(target).map(|n| n.keys.len() as u64) {
@@ -629,12 +709,14 @@ impl Actions for ChordNodeCtx<'_> {
                 self.sub
                     .trace
                     .message(tick, "load_query", MessageStatus::Delivered, 0);
+                self.sub.hub.message(metric_names::MSG_DELIVERED, 0);
                 Ok(self.sub.reported_load(relay, target, true_load))
             }
             None => {
                 self.sub
                     .trace
                     .message(tick, "load_query", MessageStatus::Unreachable, 0);
+                self.sub.hub.message(metric_names::MSG_UNREACHABLE, 0);
                 Err(ActionError::Unreachable)
             }
         }
@@ -663,6 +745,9 @@ impl Actions for ChordNodeCtx<'_> {
     fn note_quarantine(&mut self, reporter: Id, suspicion: u64) {
         let tick = self.sub.tick;
         let worker = self.worker;
+        if let Some(&owner) = self.sub.owner_of.get(&reporter) {
+            self.sub.quarantined_marks[owner] += 1;
+        }
         self.sub.emit_event(SimEvent::Quarantined {
             tick,
             worker,
@@ -726,11 +811,13 @@ impl Actions for ChordNodeCtx<'_> {
             self.sub
                 .trace
                 .message(tick, "invitation", MessageStatus::Dropped, 0);
+            self.sub.hub.message(metric_names::MSG_DROPPED, 0);
             return InviteOutcome::Unreachable;
         }
         self.sub
             .trace
             .message(tick, "invitation", MessageStatus::Delivered, 0);
+        self.sub.hub.message(metric_names::MSG_DELIVERED, 0);
         self.sub.emit_event(SimEvent::InvitationSent {
             tick,
             worker: inviter,
@@ -878,6 +965,7 @@ fn run_inner(
         stack.push(wrap_if_enabled(s, &cfg.cross_check));
     }
 
+    let n_workers = workers.len();
     let mut sub = ChordSubstrate {
         net,
         active_count: cfg.nodes,
@@ -909,10 +997,18 @@ fn run_inner(
             trace.run_start(0, "chord", cfg.strategy.label(), seed);
             trace
         },
+        hub: MetricsHub::new(cfg.record_metrics).with_ring(cfg.metrics_ring),
+        quarantined_marks: vec![0; n_workers],
     };
 
     let mut tasks_done = vec![0u64; sub.workers.len()];
     let mut next_crash = 0usize;
+    let metrics_every = cfg
+        .record_metrics
+        .then(|| cfg.metrics_interval.unwrap_or(1).max(1));
+    if metrics_every.is_some() {
+        sub.sample_metrics();
+    }
     while sub.net.total_keys() > 0 && sub.tick < cfg.max_ticks {
         sub.tick += 1;
         sub.net.set_clock(sub.tick);
@@ -935,6 +1031,7 @@ fn run_inner(
         // Work phase: each active worker consumes one task from its
         // nodes (primary first, then Sybils). The vnode iterator and
         // the network are disjoint fields, so no per-worker collection.
+        let mut consumed = 0u64;
         for (w, done) in tasks_done.iter_mut().enumerate() {
             let Some(worker) = sub.workers.get(w) else {
                 continue;
@@ -947,14 +1044,22 @@ fn run_inner(
                     .is_some();
                 if popped {
                     *done += 1;
+                    consumed += 1;
                     break;
                 }
             }
         }
+        sub.hub.inc(metric_names::TICKS);
+        sub.hub.add(metric_names::TASKS_DONE, consumed);
 
         // One maintenance cycle per tick (§V: "a tick is enough time to
         // accomplish at least one maintenance cycle").
         sub.net.maintenance_cycle();
+        if let Some(k) = metrics_every {
+            if sub.tick.is_multiple_of(k) || sub.net.total_keys() == 0 {
+                sub.sample_metrics();
+            }
+        }
     }
 
     let completed = sub.net.total_keys() == 0;
@@ -973,6 +1078,7 @@ fn run_inner(
         tasks_done,
         events: sub.events,
         trace: sub.trace,
+        metrics: sub.hub.into_samples(),
     }
 }
 

@@ -1,0 +1,255 @@
+//! The streaming metrics plane, tested end to end across substrates:
+//! the incremental Fenwick-backed fairness statistics are bit-equal to
+//! the batch recompute under arbitrary op soups, same-seed metrics
+//! JSONL is byte-identical and independent of harness thread count on
+//! all three substrates, the committed golden fixture pins the sample
+//! wire schema, and every dump renders a valid Prometheus exposition.
+
+use autobal::event_sim::{run_event_sim, EventSimConfig};
+use autobal::protocol_sim::{run_protocol_sim, ProtocolSimConfig};
+use autobal::sim::{Sim, SimConfig, StrategyKind};
+use autobal_metrics::expo::{render_exposition, validate_exposition};
+use autobal_metrics::names as metric_names;
+use autobal_metrics::sample::{parse_jsonl, timeseries_csv, to_jsonl, validate_samples};
+use autobal_metrics::LoadDist;
+use proptest::prelude::*;
+use rayon::prelude::*;
+use std::path::PathBuf;
+
+const SEED: u64 = 41;
+
+fn oracle_cfg() -> SimConfig {
+    SimConfig {
+        nodes: 16,
+        tasks: 800,
+        strategy: StrategyKind::RandomInjection,
+        check_interval: 1,
+        churn_rate: 0.02,
+        record_metrics: true,
+        metrics_interval: Some(1),
+        metrics_ring: true,
+        ..SimConfig::default()
+    }
+}
+
+fn chord_cfg() -> ProtocolSimConfig {
+    ProtocolSimConfig {
+        nodes: 16,
+        tasks: 800,
+        strategy: StrategyKind::RandomInjection,
+        check_interval: 1,
+        record_metrics: true,
+        metrics_interval: Some(1),
+        metrics_ring: true,
+        ..ProtocolSimConfig::default()
+    }
+}
+
+fn oracle_jsonl(seed: u64) -> String {
+    to_jsonl(&Sim::new(oracle_cfg(), seed).run().metrics)
+}
+
+fn chord_jsonl(seed: u64) -> String {
+    to_jsonl(&run_protocol_sim(&chord_cfg(), seed).metrics)
+}
+
+fn event_jsonl(seed: u64) -> String {
+    let cfg = EventSimConfig {
+        proto: chord_cfg(),
+        ..EventSimConfig::default()
+    };
+    to_jsonl(&run_event_sim(&cfg, seed).metrics)
+}
+
+/// One mutation of the tracked load multiset, mirroring what the
+/// simulators do to it: a join inserts a worker's load, a crash or
+/// churn leave removes one, task/transfer movement updates in place.
+#[derive(Debug, Clone)]
+enum Op {
+    Join(u16),
+    Leave(usize),
+    Crash(usize),
+    Update(usize, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (any::<u8>(), any::<usize>(), any::<u16>()).prop_map(|(which, i, v)| match which % 4 {
+        0 => Op::Join(v),
+        1 => Op::Leave(i),
+        2 => Op::Crash(i),
+        _ => Op::Update(i, v),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole contract: after ANY churn/join/crash op soup, every
+    /// aggregate the incremental structure reports — including the two
+    /// floats, compared bit-for-bit — equals a from-scratch batch
+    /// recompute over the surviving loads.
+    #[test]
+    fn incremental_stats_match_batch_under_op_soup(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut dist = LoadDist::new();
+        let mut mirror: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Join(v) => {
+                    dist.insert(v as u64);
+                    mirror.push(v as u64);
+                }
+                Op::Leave(i) | Op::Crash(i) if !mirror.is_empty() => {
+                    let v = mirror.swap_remove(i % mirror.len());
+                    dist.remove(v);
+                }
+                Op::Update(i, new) if !mirror.is_empty() => {
+                    let at = i % mirror.len();
+                    dist.update(mirror[at], new as u64);
+                    mirror[at] = new as u64;
+                }
+                _ => {}
+            }
+        }
+        let mut sorted = mirror.clone();
+        sorted.sort_unstable();
+        let total: u128 = sorted.iter().map(|&v| v as u128).sum();
+        let weighted: u128 = sorted.iter().enumerate().map(|(i, &v)| (i as u128 + 1) * v as u128).sum();
+        prop_assert_eq!(dist.len() as usize, sorted.len());
+        prop_assert_eq!(dist.total(), total);
+        prop_assert_eq!(dist.weighted(), weighted);
+        prop_assert_eq!(dist.max(), sorted.last().copied().unwrap_or(0));
+        prop_assert_eq!(
+            dist.gini().to_bits(),
+            autobal::stats::fairness::gini_sorted(&sorted).to_bits(),
+            "gini drifted from the batch recompute"
+        );
+        prop_assert_eq!(
+            dist.imbalance().to_bits(),
+            autobal::stats::fairness::imbalance_sorted(&sorted).to_bits(),
+            "imbalance drifted from the batch recompute"
+        );
+        for p in [50u64, 90, 99] {
+            prop_assert_eq!(
+                dist.percentile(p),
+                autobal::stats::fairness::percentile_sorted(&sorted, p),
+                "p{} drifted", p
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_metrics_are_byte_identical_on_all_substrates() {
+    for (name, dump) in [
+        ("oracle", oracle_jsonl as fn(u64) -> String),
+        ("chord", chord_jsonl),
+        ("event", event_jsonl),
+    ] {
+        let a = dump(SEED);
+        let b = dump(SEED);
+        assert!(!a.is_empty(), "{name}: no samples recorded");
+        assert_eq!(a, b, "{name}: metrics JSONL must be byte-stable");
+        let samples = parse_jsonl(&a).expect("samples parse");
+        validate_samples(&samples).expect("samples validate");
+        assert_eq!(to_jsonl(&samples), a, "{name}: parse/serialize round-trips");
+    }
+}
+
+#[test]
+fn metrics_bytes_do_not_depend_on_thread_count() {
+    // The sample stream is integer-only and stamped from the virtual
+    // clock, so harness parallelism cannot move a byte: the same four
+    // seeded runs, executed serially and on the rayon pool, must agree
+    // on every substrate.
+    for dump in [oracle_jsonl as fn(u64) -> String, chord_jsonl, event_jsonl] {
+        let seeds: Vec<u64> = (0..4).map(|i| SEED + i).collect();
+        let serial: Vec<String> = seeds.iter().map(|&s| dump(s)).collect();
+        let parallel: Vec<String> = seeds.into_par_iter().map(dump).collect();
+        assert_eq!(serial, parallel, "thread count leaked into metrics bytes");
+    }
+}
+
+#[test]
+fn final_sample_agrees_with_the_run_summary() {
+    let run = run_protocol_sim(&chord_cfg(), SEED);
+    let last = run.metrics.last().expect("at least one sample");
+    assert_eq!(
+        last.counter(metric_names::TICKS),
+        Some(run.ticks),
+        "ticks counter disagrees with the run result"
+    );
+    assert_eq!(
+        last.gauge(metric_names::TASKS_REMAINING),
+        Some(0),
+        "completed run must sample an empty backlog"
+    );
+    assert!(last.counter(metric_names::TASKS_DONE).unwrap_or(0) >= 800);
+    assert!(!last.ring.is_empty(), "metrics_ring must record ring slots");
+}
+
+#[test]
+fn golden_metrics_pins_the_sample_schema() {
+    // A small pinned run whose metrics JSONL is committed at
+    // `tests/data/golden_metrics.jsonl`. This is also the lint rule T
+    // anchor for the metric-name vocabulary: the registry emits every
+    // declared series in every sample, so any name change moves these
+    // bytes. Regenerate deliberately with:
+    //     UPDATE_GOLDEN=1 cargo test --test metrics_plane golden
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_metrics.jsonl");
+    let fresh = {
+        let res = Sim::new(
+            SimConfig {
+                nodes: 6,
+                tasks: 60,
+                strategy: StrategyKind::RandomInjection,
+                check_interval: 1,
+                record_metrics: true,
+                metrics_interval: Some(1),
+                metrics_ring: true,
+                ..SimConfig::default()
+            },
+            0x601D,
+        )
+        .run();
+        to_jsonl(&res.metrics)
+    };
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &fresh).expect("write golden");
+    }
+    let committed = std::fs::read_to_string(&path).expect("golden fixture committed");
+    assert_eq!(
+        fresh, committed,
+        "metrics wire format drifted from the golden fixture; \
+         regenerate with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+
+    // The fixture honors the schema and spans the registry vocabulary.
+    let samples = parse_jsonl(&committed).expect("golden parses");
+    validate_samples(&samples).expect("golden validates");
+    let first = samples.first().expect("nonempty");
+    for &(name, kind, _) in autobal_metrics::names::ALL {
+        let present = match kind {
+            autobal_metrics::registry::Kind::Counter => first.counter(name).is_some(),
+            autobal_metrics::registry::Kind::Gauge => first.gauge(name).is_some(),
+            autobal_metrics::registry::Kind::Histogram => first.hist(name).is_some(),
+        };
+        assert!(present, "metric `{name}` missing from the golden fixture");
+    }
+}
+
+#[test]
+fn every_dump_renders_a_valid_exposition() {
+    for (name, text) in [
+        ("oracle", oracle_jsonl(SEED)),
+        ("chord", chord_jsonl(SEED)),
+        ("event", event_jsonl(SEED)),
+    ] {
+        let samples = parse_jsonl(&text).expect("samples parse");
+        let last = samples.last().expect("nonempty");
+        let expo = render_exposition(last);
+        validate_exposition(&expo).unwrap_or_else(|e| panic!("{name}: invalid exposition: {e}"));
+        // And the CSV derivation covers every sample.
+        let csv = timeseries_csv(&samples);
+        assert_eq!(csv.lines().count(), samples.len() + 1, "{name}: csv rows");
+    }
+}

@@ -55,6 +55,33 @@ fn steady_state_ticks_do_not_allocate() {
     );
 }
 
+/// The metrics plane keeps the promise: with recording on, every tick
+/// pays the incremental-statistics upkeep (Fenwick updates, counter
+/// bumps) yet still allocates nothing. Only the periodic sample dump
+/// may allocate, so the cadence is pushed past the measured window.
+#[test]
+fn metrics_recording_ticks_do_not_allocate() {
+    let mut cfg = steady_cfg();
+    cfg.record_metrics = true;
+    cfg.metrics_interval = Some(1_000_000);
+    let mut sim = Sim::new(cfg, 0xA0B1_C2D3);
+    for _ in 0..32 {
+        sim.step();
+    }
+    let (allocs, consumed) = allocation_delta(|| {
+        let mut consumed = 0u64;
+        for _ in 0..1_000 {
+            consumed += sim.step();
+        }
+        consumed
+    });
+    assert!(consumed > 0, "window must have done real work");
+    assert_eq!(
+        allocs, 0,
+        "metrics-instrumented tick loop allocated {allocs} times over 1k ticks"
+    );
+}
+
 /// The same property seen end-to-end: a full run's allocation count is
 /// dominated by setup, not by ticks — running 4x more ticks over the
 /// same setup must not add more than a sliver of allocations.
