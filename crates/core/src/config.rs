@@ -202,6 +202,15 @@ pub struct SimConfig {
     /// (monitor food; O(workers) per sample, so off by default).
     #[cfg_attr(feature = "serde", serde(default))]
     pub metrics_ring: bool,
+    /// Number of arc-range ring shards for the tick engine. `1` (the
+    /// default) runs the classic ordered-map engine; `>= 2` switches to
+    /// the sharded struct-of-arrays engine, which partitions the
+    /// identifier ring into contiguous arcs and batches cross-shard
+    /// effects at the tick barrier. `0` means auto: one shard per
+    /// available hardware thread. Results are bit-for-bit identical for
+    /// every shard count (see `crate::shard`).
+    #[cfg_attr(feature = "serde", serde(default = "one"))]
+    pub shards: u32,
 }
 
 fn one() -> u32 {
@@ -236,6 +245,7 @@ impl Default for SimConfig {
             record_metrics: false,
             metrics_interval: None,
             metrics_ring: false,
+            shards: 1,
         }
     }
 }
@@ -294,6 +304,19 @@ impl SimConfig {
     pub fn effective_max_ticks(&self) -> u64 {
         self.max_ticks
             .unwrap_or_else(|| (self.ideal_ticks().saturating_mul(100)).max(10_000))
+    }
+
+    /// Resolved shard count for the tick engine: `0` maps to the number
+    /// of available hardware threads, and the result is clamped to
+    /// `1..=MAX_SHARDS`. Purely a partitioning knob — the simulation
+    /// outcome is identical for every value (see `crate::shard`).
+    pub fn resolved_shards(&self) -> usize {
+        let raw = if self.shards == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.shards as usize
+        };
+        raw.clamp(1, crate::shard::MAX_SHARDS)
     }
 
     /// Validates the configuration, returning a human-readable complaint

@@ -54,7 +54,11 @@ impl std::error::Error for RingError {}
 /// How many retired task vectors the ring keeps around for reuse.
 /// Splits and merges alternate under churn, so a handful of warm
 /// buffers absorbs the steady state without hoarding memory.
-const POOL_CAP: usize = 32;
+pub(crate) const POOL_CAP: usize = 32;
+
+/// Initial xorshift state for the pop generator. Shared with the
+/// sharded engine so both start from the same stream.
+pub(crate) const POP_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The ring of virtual nodes.
 #[derive(Debug, Clone)]
@@ -82,7 +86,7 @@ impl Ring {
         Ring {
             map: BTreeMap::new(),
             total_tasks: 0,
-            pop_rng: 0x9E37_79B9_7F4A_7C15,
+            pop_rng: POP_SEED,
             scratch: Vec::new(),
             pool: Vec::new(),
         }
@@ -268,22 +272,30 @@ impl Ring {
         assert!(!self.map.is_empty(), "assign_tasks on empty ring");
         keys.sort_unstable();
         self.total_tasks += keys.len() as u64;
-        let ids: Vec<Id> = self.map.keys().copied().collect();
         // For consecutive vnode ids a < b, b owns integer range (a, b].
         // The smallest vnode also picks up the wrap: keys > last ∪ keys ≤ first.
+        // One in-order mutable pass over the map replaces the old
+        // collect-all-keys-into-a-Vec approach; `prev` carries the
+        // window's left edge between iterations.
         let mut start = 0usize;
-        for w in ids.windows(2) {
-            let (a, b) = (w[0], w[1]);
+        let mut first = None;
+        let mut prev = None;
+        for (&b, node) in self.map.iter_mut() {
+            let Some(a) = prev else {
+                first = Some(b);
+                prev = Some(b);
+                continue;
+            };
             // keys in (a, b]: advance start past ≤ a, then take ≤ b.
             let lo = keys[start..].partition_point(|&k| k <= a) + start;
             let hi = keys[lo..].partition_point(|&k| k <= b) + lo;
-            let node = self.map.get_mut(&b).unwrap();
             extend_sorted(&mut node.tasks, &keys[lo..hi]);
             start = hi;
+            prev = Some(b);
         }
         // Wrap chunk: keys ≤ first id and keys > last id go to first.
-        let first = ids[0];
-        let last = *ids.last().unwrap();
+        let first = first.expect("non-empty ring");
+        let last = prev.expect("non-empty ring");
         let head_end = keys.partition_point(|&k| k <= first);
         let tail_start = keys.partition_point(|&k| k <= last);
         let first_node = self.map.get_mut(&first).unwrap();
@@ -358,23 +370,39 @@ impl Ring {
     }
 }
 
+/// One xorshift64 step of the pop generator. Split out from
+/// [`next_pop_index`] because the state evolution is independent of the
+/// vector lengths being popped — the sharded engine exploits this to
+/// pre-generate a tick's whole state stream and pop in parallel.
+#[inline]
+pub(crate) fn advance_pop_state(state: u64) -> u64 {
+    let mut x = state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Maps an advanced state word to an index in `0..len` (the `*` finisher
+/// of xorshift64*, reduced modulo the vector length).
+#[inline]
+pub(crate) fn pop_index(state: u64, len: usize) -> usize {
+    debug_assert!(len > 0);
+    (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % len as u64) as usize
+}
+
 /// Next pseudo-random index in `0..len` (xorshift64*; cheap and
 /// deterministic — good enough for picking which task to run next).
 /// Free function over the bare state word so callers holding a mutable
 /// borrow into the node map can still step the generator.
 #[inline]
 fn next_pop_index(state: &mut u64, len: usize) -> usize {
-    debug_assert!(len > 0);
-    let mut x = *state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *state = x;
-    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % len as u64) as usize
+    *state = advance_pop_state(*state);
+    pop_index(*state, len)
 }
 
 /// Merges two ascending-sorted vectors into one.
-fn merge_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
+pub(crate) fn merge_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -392,7 +420,7 @@ fn merge_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
 }
 
 /// Appends a sorted chunk to a sorted vector, merging when necessary.
-fn extend_sorted(dst: &mut Vec<Id>, chunk: &[Id]) {
+pub(crate) fn extend_sorted(dst: &mut Vec<Id>, chunk: &[Id]) {
     if chunk.is_empty() {
         return;
     }

@@ -1,0 +1,1244 @@
+//! Arc-range sharded ring storage and the parallel tick engine.
+//!
+//! [`ShardedRing`] partitions the 160-bit identifier circle into
+//! `S` contiguous arc-range shards (shard `s` owns ids whose top 96
+//! bits fall in `[s·2⁹⁶/S, (s+1)·2⁹⁶/S)`), each holding its virtual
+//! nodes in a struct-of-arrays layout: an ordered id→slot index next to
+//! parallel `owners`/`tasks` columns, so the hot tick loop walks dense
+//! vectors instead of chasing `BTreeMap<Id, VNode>` nodes.
+//!
+//! ## Determinism contract
+//!
+//! The sharded engine is **bit-for-bit identical** to the classic
+//! [`Ring`] for every operation sequence, at every shard count, at
+//! every thread count. Structural operations (join splits, departure
+//! merges, task placement) are executed in the same global id order the
+//! classic engine uses — a shard boundary never changes *what* happens,
+//! only *where* the state lives. The work phase exploits one algebraic
+//! fact: the xorshift64* pop generator's state evolution is independent
+//! of the vector lengths being popped, and each worker's pop count for
+//! a tick (`min(capacity, load)`) is known before any pop happens. So
+//! the tick barrier (a) computes per-worker prefix offsets into the
+//! tick's pop stream sequentially, (b) materializes the whole state
+//! stream once, and (c) lets every shard replay its slice of the stream
+//! against its own task vectors — in parallel, with no cross-shard
+//! effects, reproducing the sequential engine's pops exactly. Cross-
+//! shard structural effects (a Sybil landing in another shard's arc, a
+//! departure merging into a successor across a boundary) happen in the
+//! sequential strategy phase, outside the parallel window, which is the
+//! deterministic-merge discipline the tick barrier enforces.
+//!
+//! [`RingStore`] is the engine selector the simulator embeds: `Solo`
+//! is the classic ordered-map ring (shards = 1), `Sharded` the
+//! struct-of-arrays engine (shards ≥ 2).
+
+use crate::ring::{
+    advance_pop_state, extend_sorted, pop_index, Ring, RingError, POOL_CAP, POP_SEED,
+};
+use crate::worker::WorkerId;
+use autobal_id::{ring as arc, Id};
+use autobal_metrics::DistSummary;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Hard cap on the shard count (a partitioning knob, not a scaling
+/// limit — more shards than cores only adds merge bookkeeping).
+pub const MAX_SHARDS: usize = 64;
+
+/// Owner sentinel marking a freed slot in the struct-of-arrays columns.
+const FREE_OWNER: WorkerId = usize::MAX;
+
+/// Which shard an identifier belongs to: the top 96 bits of the id,
+/// scaled by the shard count. Monotone in the id, so concatenating the
+/// shards' ordered indexes in shard order yields the global id order.
+#[inline]
+pub(crate) fn shard_of(id: Id, shards: usize) -> usize {
+    let [_, mid, hi] = id.limbs();
+    // `hi` < 2³² (160-bit ids), so key96 < 2⁹⁶ and the product fits u128.
+    let key96 = ((hi as u128) << 64) | (mid as u128);
+    ((key96 * shards as u128) >> 96) as usize
+}
+
+/// One contiguous arc-range shard in struct-of-arrays layout.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Shard {
+    /// Ordered id → slot index (the shard's fragment of the ring order).
+    index: BTreeMap<Id, usize>,
+    /// Slot → owning worker (`FREE_OWNER` when the slot is free).
+    owners: Vec<WorkerId>,
+    /// Slot → remaining task keys (ascending; same representation and
+    /// element order as [`crate::ring::VNode::tasks`]).
+    tasks: Vec<Vec<Id>>,
+    /// Free slot list (slots keep their columns; vectors are recycled
+    /// through the ring-level pool instead).
+    free: Vec<usize>,
+    /// `(slot, owner)` pairs for slots with a nonempty task queue — the
+    /// planned tick's working set. Valid only while the ring-level
+    /// `live_epoch` matches `muts` (rebuilt by `refresh_live`); pruned
+    /// in place as queues drain, so tail-of-run ticks touch only the
+    /// handful of still-loaded slots instead of every column.
+    live: Vec<(u32, u32)>,
+}
+
+impl Shard {
+    /// Files a vnode into a free (or fresh) slot.
+    fn insert(&mut self, id: Id, owner: WorkerId, tasks: Vec<Id>) {
+        let slot = match self.free.pop() {
+            Some(s) if s < self.owners.len() => s,
+            _ => {
+                self.owners.push(FREE_OWNER);
+                self.tasks.push(Vec::new());
+                self.owners.len() - 1
+            }
+        };
+        if let (Some(o), Some(t)) = (self.owners.get_mut(slot), self.tasks.get_mut(slot)) {
+            *o = owner;
+            *t = tasks;
+            self.index.insert(id, slot);
+        }
+    }
+
+    /// Unfiles a vnode, returning its owner and task vector.
+    fn remove(&mut self, id: Id) -> Option<(WorkerId, Vec<Id>)> {
+        let slot = self.index.remove(&id)?;
+        let owner = self.owners.get(slot).copied()?;
+        let tasks = std::mem::take(self.tasks.get_mut(slot)?);
+        if let Some(o) = self.owners.get_mut(slot) {
+            *o = FREE_OWNER;
+        }
+        self.free.push(slot);
+        Some((owner, tasks))
+    }
+
+    /// Replays this shard's slice of the tick's pop-state stream: for
+    /// every live slot, pops `pops[owner]` tasks using the states at
+    /// `offs[owner]..` — exactly the states the sequential engine would
+    /// have drawn for that worker. Returns the number of tasks popped.
+    ///
+    /// Slots are visited in column order, not ring order: each state in
+    /// the stream is pre-assigned to one worker by the planning pass,
+    /// so replay order cannot change which state pops which queue. The
+    /// dense `owners` scan is what the struct-of-arrays layout buys —
+    /// no per-pop (or even per-vnode) ordered-map walk on the hot tick.
+    fn pop_batch(&mut self, offs: &[u64], pops: &[u32], stream: &[u64]) -> u64 {
+        let Shard { tasks, live, .. } = self;
+        let mut done = 0u64;
+        let mut i = 0;
+        while let Some(&(slot, owner)) = live.get(i) {
+            let Some(&k) = pops.get(owner as usize) else {
+                i += 1;
+                continue;
+            };
+            if k == 0 {
+                i += 1;
+                continue;
+            }
+            let Some(&off) = offs.get(owner as usize) else {
+                i += 1;
+                continue;
+            };
+            let Some(tv) = tasks.get_mut(slot as usize) else {
+                i += 1;
+                continue;
+            };
+            let Some(states) = stream.get(off as usize..off as usize + k as usize) else {
+                i += 1;
+                continue;
+            };
+            for &st in states {
+                let len = tv.len();
+                if len == 0 {
+                    break;
+                }
+                tv.swap_remove(pop_index(st, len));
+                done += 1;
+            }
+            if tv.is_empty() {
+                // Drained: prune from the working set. The swapped-in
+                // pair is visited next (no `i` bump) — visit order is
+                // free to vary because every stream state is already
+                // assigned to one worker.
+                live.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Rebuilds the live `(slot, owner)` working set from the columns.
+    fn rebuild_live(&mut self) {
+        let Shard {
+            owners,
+            tasks,
+            live,
+            ..
+        } = self;
+        live.clear();
+        for (slot, &owner) in owners.iter().enumerate() {
+            if owner == FREE_OWNER {
+                continue;
+            }
+            if tasks.get(slot).is_none_or(|t| t.is_empty()) {
+                continue;
+            }
+            live.push((slot as u32, owner as u32));
+        }
+    }
+
+    /// Mergeable load summary over this shard's live slots.
+    fn summary(&self) -> DistSummary {
+        let mut s = DistSummary::default();
+        for (_, &slot) in self.index.iter() {
+            s.observe(self.tasks.get(slot).map_or(0, |t| t.len() as u64));
+        }
+        s
+    }
+}
+
+/// The sharded struct-of-arrays ring engine. Mirrors [`Ring`]'s public
+/// surface operation for operation (see the module docs for the
+/// determinism contract).
+#[derive(Debug, Clone)]
+pub struct ShardedRing {
+    shards: Vec<Shard>,
+    /// Total live vnodes across all shards.
+    len: usize,
+    total_tasks: u64,
+    /// xorshift state for uniform task consumption (deterministic; same
+    /// stream as the classic engine).
+    pop_rng: u64,
+    /// Reusable split buffer (as in [`Ring`]): holds the newcomer's
+    /// keys during `insert_vnode` so steady-state splits never allocate.
+    scratch: Vec<Id>,
+    /// Retired task vectors, recycled on the next split.
+    pool: Vec<Vec<Id>>,
+    /// Per-worker pop-stream offsets for the fast tick (reused buffer,
+    /// filled by the simulator's sequential planning pass).
+    pub(crate) offs: Vec<u64>,
+    /// Per-worker pop counts for the fast tick (reused buffer).
+    pub(crate) pops: Vec<u32>,
+    /// The tick's pre-generated pop-state stream (reused buffer).
+    stream: Vec<u64>,
+    /// Structural mutation counter: every insert/remove/assign/single
+    /// pop bumps it, invalidating the shards' `live` working sets.
+    muts: u64,
+    /// Value of `muts` when the `live` sets were last rebuilt; batch
+    /// pops prune the sets in place without bumping `muts`, so between
+    /// structural mutations the rebuild is skipped entirely.
+    live_epoch: u64,
+}
+
+impl ShardedRing {
+    /// A new empty ring partitioned into `shards` arcs (clamped to
+    /// `1..=MAX_SHARDS`).
+    pub fn new(shards: usize) -> ShardedRing {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        ShardedRing {
+            shards: std::iter::repeat_with(Shard::default)
+                .take(shards)
+                .collect(),
+            len: 0,
+            total_tasks: 0,
+            pop_rng: POP_SEED,
+            scratch: Vec::new(),
+            pool: Vec::new(),
+            offs: Vec::new(),
+            pops: Vec::new(),
+            stream: Vec::new(),
+            muts: 1,
+            live_epoch: 0,
+        }
+    }
+
+    /// Brings every shard's live working set up to date with the
+    /// columns; a no-op between structural mutations.
+    fn refresh_live(&mut self) {
+        if self.live_epoch == self.muts {
+            return;
+        }
+        for sh in self.shards.iter_mut() {
+            sh.rebuild_live();
+        }
+        self.live_epoch = self.muts;
+    }
+
+    /// Number of arc-range shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of virtual nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total remaining tasks across the ring.
+    pub fn total_tasks(&self) -> u64 {
+        self.total_tasks
+    }
+
+    #[inline]
+    fn shard_idx(&self, id: Id) -> usize {
+        shard_of(id, self.shards.len())
+    }
+
+    pub fn contains(&self, id: Id) -> bool {
+        self.shards
+            .get(self.shard_idx(id))
+            .is_some_and(|sh| sh.index.contains_key(&id))
+    }
+
+    /// Remaining tasks at one virtual node.
+    pub fn load(&self, id: Id) -> u64 {
+        self.shards
+            .get(self.shard_idx(id))
+            .and_then(|sh| {
+                let slot = *sh.index.get(&id)?;
+                sh.tasks.get(slot)
+            })
+            .map_or(0, |t| t.len() as u64)
+    }
+
+    /// The worker controlling the vnode at `id`, if present.
+    pub fn vnode_owner(&self, id: Id) -> Option<WorkerId> {
+        let sh = self.shards.get(self.shard_idx(id))?;
+        let slot = *sh.index.get(&id)?;
+        sh.owners.get(slot).copied()
+    }
+
+    /// The virtual node whose arc contains `key` (first id ≥ key,
+    /// wrapping to the smallest id).
+    pub fn owner_of_key(&self, key: Id) -> Option<Id> {
+        if self.len == 0 {
+            return None;
+        }
+        let s = self.shard_idx(key);
+        if let Some(sh) = self.shards.get(s) {
+            if let Some((&id, _)) = sh.index.range(key..).next() {
+                return Some(id);
+            }
+        }
+        self.first_nonempty_after(s)
+    }
+
+    /// Clockwise neighbor of `id` (excluding itself; `id` itself when it
+    /// is the only node). `id` need not be present.
+    pub fn successor_of(&self, id: Id) -> Option<Id> {
+        if self.len == 0 {
+            return None;
+        }
+        let s = self.shard_idx(id);
+        if let Some(sh) = self.shards.get(s) {
+            if let Some((&i, _)) = sh
+                .index
+                .range((Bound::Excluded(id), Bound::Unbounded))
+                .next()
+            {
+                return Some(i);
+            }
+        }
+        self.first_nonempty_after(s)
+    }
+
+    /// Counter-clockwise neighbor of `id` (excluding itself).
+    pub fn predecessor_of(&self, id: Id) -> Option<Id> {
+        if self.len == 0 {
+            return None;
+        }
+        let s = self.shard_idx(id);
+        if let Some(sh) = self.shards.get(s) {
+            if let Some((&i, _)) = sh.index.range(..id).next_back() {
+                return Some(i);
+            }
+        }
+        // Walk counter-clockwise through shards s-1, …, 0, then wrap
+        // n-1, …, s: the first non-empty shard's largest id is the
+        // predecessor (or, wrapped, the global maximum).
+        let n = self.shards.len();
+        for d in 1..=n {
+            let t = (s + n - d) % n;
+            if let Some(sh) = self.shards.get(t) {
+                if let Some((&i, _)) = sh.index.iter().next_back() {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// The smallest id in the first non-empty shard clockwise after
+    /// shard `s` (cyclically, ending at `s` itself). Ids in shards
+    /// after `s` all sort above shard `s`'s arc, so this is both "next
+    /// id after the arc" and, once wrapped past the top, the global
+    /// minimum — exactly the classic engine's `or_else(global min)`.
+    fn first_nonempty_after(&self, s: usize) -> Option<Id> {
+        let n = self.shards.len();
+        for d in 1..=n {
+            let t = (s + d) % n;
+            if let Some(sh) = self.shards.get(t) {
+                if let Some((&i, _)) = sh.index.iter().next() {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Up to `k` distinct clockwise successors of `id`, nearest first.
+    pub fn successors(&self, id: Id, k: usize) -> Vec<Id> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = id;
+        for _ in 0..k {
+            match self.successor_of(cur) {
+                Some(s) if s != id => {
+                    out.push(s);
+                    cur = s;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Up to `k` distinct counter-clockwise predecessors, nearest first.
+    pub fn predecessors(&self, id: Id, k: usize) -> Vec<Id> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = id;
+        for _ in 0..k {
+            match self.predecessor_of(cur) {
+                Some(p) if p != id => {
+                    out.push(p);
+                    cur = p;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Inserts a virtual node at `id` for `owner`, splitting the
+    /// successor's task set exactly as [`Ring::insert_vnode`] does —
+    /// the successor may live in any shard.
+    pub fn insert_vnode(&mut self, id: Id, owner: WorkerId) -> Result<u64, RingError> {
+        self.muts = self.muts.wrapping_add(1);
+        let s = self.shard_idx(id);
+        if self
+            .shards
+            .get(s)
+            .is_some_and(|sh| sh.index.contains_key(&id))
+        {
+            return Err(RingError::Occupied(id));
+        }
+        if self.len == 0 {
+            if let Some(sh) = self.shards.get_mut(s) {
+                sh.insert(id, owner, Vec::new());
+                self.len = 1;
+            }
+            return Ok(0);
+        }
+        let Some(succ_id) = self.owner_of_key(id) else {
+            return Err(RingError::Unknown(id));
+        };
+        let ss = self.shard_idx(succ_id);
+        self.scratch.clear();
+        {
+            let ShardedRing {
+                shards, scratch, ..
+            } = self;
+            let Some(sh) = shards.get_mut(ss) else {
+                return Err(RingError::Unknown(succ_id));
+            };
+            let Some(&slot) = sh.index.get(&succ_id) else {
+                return Err(RingError::Unknown(succ_id));
+            };
+            let Some(tv) = sh.tasks.get_mut(slot) else {
+                return Err(RingError::Unknown(succ_id));
+            };
+            // Same stable in-place partition as the classic engine:
+            // keepers stay in (id, succ_id], the newcomer's keys stream
+            // into scratch in their original (ascending) order.
+            tv.retain(|&k| {
+                let keep = arc::in_arc(id, succ_id, k);
+                if !keep {
+                    scratch.push(k);
+                }
+                keep
+            });
+        }
+        let acquired = self.scratch.len() as u64;
+        let mut tasks = self.pool.pop().unwrap_or_default();
+        tasks.extend_from_slice(&self.scratch);
+        if let Some(sh) = self.shards.get_mut(s) {
+            sh.insert(id, owner, tasks);
+            self.len += 1;
+        }
+        Ok(acquired)
+    }
+
+    /// Removes the virtual node at `id`, merging its remaining tasks
+    /// into its successor (which may live in any shard). Returns
+    /// `(owner, tasks_moved, successor)`.
+    pub fn remove_vnode(&mut self, id: Id) -> Result<(WorkerId, u64, Id), RingError> {
+        self.muts = self.muts.wrapping_add(1);
+        let s = self.shard_idx(id);
+        if !self
+            .shards
+            .get(s)
+            .is_some_and(|sh| sh.index.contains_key(&id))
+        {
+            return Err(RingError::Unknown(id));
+        }
+        if self.len == 1 {
+            let idle = self
+                .shards
+                .get(s)
+                .and_then(|sh| {
+                    let slot = *sh.index.get(&id)?;
+                    sh.tasks.get(slot)
+                })
+                .is_some_and(|t| t.is_empty());
+            if !idle {
+                return Err(RingError::LastVNode);
+            }
+            let Some((owner, tasks)) = self.shards.get_mut(s).and_then(|sh| sh.remove(id)) else {
+                return Err(RingError::Unknown(id));
+            };
+            self.len = 0;
+            self.recycle(tasks);
+            return Ok((owner, 0, id));
+        }
+        let Some(succ_id) = self.successor_of(id) else {
+            return Err(RingError::Unknown(id));
+        };
+        let Some((owner, tasks)) = self.shards.get_mut(s).and_then(|sh| sh.remove(id)) else {
+            return Err(RingError::Unknown(id));
+        };
+        self.len -= 1;
+        let moved = tasks.len() as u64;
+        let ss = self.shard_idx(succ_id);
+        if let Some(tv) = self.shards.get_mut(ss).and_then(|sh| {
+            let slot = *sh.index.get(&succ_id)?;
+            sh.tasks.get_mut(slot)
+        }) {
+            tv.extend_from_slice(&tasks);
+        }
+        self.recycle(tasks);
+        Ok((owner, moved, succ_id))
+    }
+
+    /// Parks a retired task vector for reuse by a later split.
+    fn recycle(&mut self, mut tasks: Vec<Id>) {
+        if self.pool.len() < POOL_CAP && tasks.capacity() > 0 {
+            tasks.clear();
+            self.pool.push(tasks);
+        }
+    }
+
+    /// Distributes a batch of task keys onto their owning virtual nodes
+    /// (initial placement). Identical placement to
+    /// [`Ring::assign_tasks`]: the walk simply crosses shard boundaries
+    /// as it sweeps the global id order.
+    pub fn assign_tasks(&mut self, mut keys: Vec<Id>) {
+        debug_assert!(self.len > 0, "assign_tasks on empty ring");
+        self.muts = self.muts.wrapping_add(1);
+        keys.sort_unstable();
+        self.total_tasks += keys.len() as u64;
+        let mut start = 0usize;
+        let mut first = None;
+        let mut prev = None;
+        for sh in self.shards.iter_mut() {
+            let Shard { index, tasks, .. } = sh;
+            for (&b, &slot) in index.iter() {
+                let Some(a) = prev else {
+                    first = Some(b);
+                    prev = Some(b);
+                    continue;
+                };
+                // keys in (a, b]: advance start past ≤ a, then take ≤ b.
+                let Some(tail) = keys.get(start..) else {
+                    break;
+                };
+                let lo = tail.partition_point(|&k| k <= a) + start;
+                let Some(rest) = keys.get(lo..) else {
+                    break;
+                };
+                let hi = rest.partition_point(|&k| k <= b) + lo;
+                if let (Some(tv), Some(chunk)) = (tasks.get_mut(slot), keys.get(lo..hi)) {
+                    extend_sorted(tv, chunk);
+                }
+                start = hi;
+                prev = Some(b);
+            }
+        }
+        // Wrap chunk: keys ≤ first id and keys > last id go to first.
+        let (Some(first), Some(last)) = (first, prev) else {
+            return;
+        };
+        let head_end = keys.partition_point(|&k| k <= first);
+        let tail_start = keys.partition_point(|&k| k <= last);
+        let fs = self.shard_idx(first);
+        let Some(tv) = self.shards.get_mut(fs).and_then(|sh| {
+            let slot = *sh.index.get(&first)?;
+            sh.tasks.get_mut(slot)
+        }) else {
+            return;
+        };
+        if let Some(head) = keys.get(..head_end) {
+            extend_sorted(tv, head);
+        }
+        if let Some(tail) = keys.get(tail_start..) {
+            extend_sorted(tv, tail);
+        }
+    }
+
+    /// Consumes one uniformly random task from the virtual node —
+    /// the sequential path, drawing from the shared pop stream in call
+    /// order exactly like [`Ring::pop_task`]. Returns `false` if the
+    /// node is absent or idle.
+    pub fn pop_task(&mut self, id: Id) -> bool {
+        let s = self.shard_idx(id);
+        let Some(sh) = self.shards.get_mut(s) else {
+            return false;
+        };
+        let Some(&slot) = sh.index.get(&id) else {
+            return false;
+        };
+        let Some(tv) = sh.tasks.get_mut(slot) else {
+            return false;
+        };
+        let len = tv.len();
+        if len == 0 {
+            return false;
+        }
+        self.muts = self.muts.wrapping_add(1);
+        self.pop_rng = advance_pop_state(self.pop_rng);
+        tv.swap_remove(pop_index(self.pop_rng, len));
+        self.total_tasks -= 1;
+        true
+    }
+
+    /// The parallel work phase of one tick. The caller (the simulator's
+    /// sequential planning pass) has filled `offs`/`pops` with each
+    /// worker's stream offset and pop count; `total` is the tick's
+    /// total pop count. Generates the tick's pop-state stream once,
+    /// then replays each shard's slice — in parallel when the ambient
+    /// rayon pool has threads to spare, sequentially otherwise; both
+    /// paths produce identical state by construction.
+    pub(crate) fn run_pops(&mut self, total: u64) {
+        self.refresh_live();
+        self.stream.clear();
+        self.stream.reserve(total as usize);
+        let mut s = self.pop_rng;
+        for _ in 0..total {
+            s = advance_pop_state(s);
+            self.stream.push(s);
+        }
+        self.pop_rng = s;
+        let ShardedRing {
+            shards,
+            offs,
+            pops,
+            stream,
+            ..
+        } = self;
+        let offs: &[u64] = offs;
+        let pops: &[u32] = pops;
+        let stream: &[u64] = stream;
+        let done: u64 = if shards.len() > 1 && rayon::current_num_threads() > 1 {
+            let jobs: Vec<&mut Shard> = shards.iter_mut().collect();
+            let per_shard: Vec<u64> = jobs
+                .into_par_iter()
+                .map(|sh| sh.pop_batch(offs, pops, stream))
+                .collect();
+            per_shard.iter().sum()
+        } else {
+            let mut done = 0u64;
+            for sh in shards.iter_mut() {
+                done += sh.pop_batch(offs, pops, stream);
+            }
+            done
+        };
+        debug_assert_eq!(done, total, "fast tick popped a different count");
+        self.total_tasks -= total;
+    }
+
+    /// The sequential planning pass done ring-side. When the
+    /// simulator's worker load ledger is detached (see `Sim::step`),
+    /// each live slot's queue length *is* its owner's load — the fast
+    /// precondition guarantees one primary vnode per active worker —
+    /// so per-worker pop counts can be read straight off the dense
+    /// columns without touching the worker table at all. `caps[w]` is
+    /// worker `w`'s per-tick capacity (static between churn events).
+    ///
+    /// Fills `pops` exactly as the worker-scan pass would and assigns
+    /// `offs` as the exclusive prefix sum *in worker-index order* — the
+    /// ordering contract that makes stream replay bit-identical to the
+    /// sequential engine. Returns the tick's total pop count.
+    pub(crate) fn plan_pops_from_ring(&mut self, caps: &[u32]) -> u64 {
+        self.refresh_live();
+        let ShardedRing {
+            shards, offs, pops, ..
+        } = self;
+        let n = caps.len();
+        pops.clear();
+        pops.resize(n, 0);
+        if offs.len() != n {
+            offs.clear();
+            offs.resize(n, 0);
+        }
+        for sh in shards.iter() {
+            let Shard { tasks, live, .. } = sh;
+            for &(slot, owner) in live.iter() {
+                let Some(&cap) = caps.get(owner as usize) else {
+                    continue;
+                };
+                let len = tasks.get(slot as usize).map_or(0, |t| t.len()) as u64;
+                let p = (cap as u64).min(len) as u32;
+                if let Some(q) = pops.get_mut(owner as usize) {
+                    *q = p;
+                }
+            }
+        }
+        // Exclusive prefix sum in worker-index order — the stream-
+        // assignment contract. Offsets are written only for popping
+        // workers; stale entries are never read (`pops == 0` guards).
+        let mut total = 0u64;
+        for (w, &p) in pops.iter().enumerate() {
+            if p == 0 {
+                continue;
+            }
+            if let Some(o) = offs.get_mut(w) {
+                *o = total;
+            }
+            total += p as u64;
+        }
+        total
+    }
+
+    /// The ring-order median of a virtual node's remaining task keys
+    /// (see [`Ring::median_task_key`]).
+    pub fn median_task_key(&self, id: Id) -> Option<Id> {
+        let sh = self.shards.get(self.shard_idx(id))?;
+        let slot = *sh.index.get(&id)?;
+        let tv = sh.tasks.get(slot)?;
+        if tv.is_empty() {
+            return None;
+        }
+        let pred = self.predecessor_of(id).unwrap_or(id);
+        let mut keys = tv.clone();
+        let mid = keys.len() / 2;
+        keys.select_nth_unstable_by_key(mid, |k| k.wrapping_sub(pred));
+        keys.get(mid).copied()
+    }
+
+    /// Per-owner total loads, for snapshot assertions.
+    pub fn loads_by_owner(&self, workers: usize) -> Vec<u64> {
+        let mut out = vec![0u64; workers];
+        for sh in &self.shards {
+            for (_, &slot) in sh.index.iter() {
+                let Some(&owner) = sh.owners.get(slot) else {
+                    continue;
+                };
+                let load = sh.tasks.get(slot).map_or(0, |t| t.len() as u64);
+                if let Some(o) = out.get_mut(owner) {
+                    *o += load;
+                }
+            }
+        }
+        out
+    }
+
+    /// Remaining task keys at one virtual node, in internal queue order.
+    pub fn tasks(&self, id: Id) -> Option<&[Id]> {
+        let sh = self.shards.get(self.shard_idx(id))?;
+        let slot = *sh.index.get(&id)?;
+        sh.tasks.get(slot).map(Vec::as_slice)
+    }
+
+    /// `(id, owner, tasks)` for every vnode in global ring (ascending
+    /// id) order — shards concatenate to the global order because
+    /// [`shard_of`] is monotone in the id.
+    pub fn rows(&self) -> Vec<(Id, WorkerId, Vec<Id>)> {
+        let mut out = Vec::with_capacity(self.len);
+        for sh in &self.shards {
+            for (&id, &slot) in sh.index.iter() {
+                let owner = sh.owners.get(slot).copied().unwrap_or(FREE_OWNER);
+                let tasks = sh.tasks.get(slot).cloned().unwrap_or_default();
+                out.push((id, owner, tasks));
+            }
+        }
+        out
+    }
+
+    /// `(id, load)` for every vnode in global ring (ascending id) order.
+    pub fn vnode_loads(&self) -> Vec<(Id, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        for sh in &self.shards {
+            for (&id, &slot) in sh.index.iter() {
+                out.push((id, sh.tasks.get(slot).map_or(0, |t| t.len() as u64)));
+            }
+        }
+        out
+    }
+
+    /// Per-shard mergeable load summaries (the tick-barrier feed for
+    /// the metrics plane: each shard reports independently, the merge
+    /// is order-free and exact).
+    pub fn shard_summaries(&self) -> Vec<DistSummary> {
+        self.shards.iter().map(Shard::summary).collect()
+    }
+
+    /// The merged whole-ring summary; equals folding every vnode load
+    /// through one [`DistSummary`].
+    pub fn summary(&self) -> DistSummary {
+        let mut total = DistSummary::default();
+        for s in self.shards.iter().map(Shard::summary) {
+            total.merge(&s);
+        }
+        total
+    }
+
+    /// Verifies internal invariants (accurate totals, shard filing,
+    /// keys within their owner arcs). Test/debug helper.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut counted = 0u64;
+        let mut live = 0usize;
+        for (si, sh) in self.shards.iter().enumerate() {
+            for (&id, &slot) in sh.index.iter() {
+                live += 1;
+                if self.shard_idx(id) != si {
+                    return Err(format!(
+                        "vnode {id} filed in shard {si}, belongs in {}",
+                        self.shard_idx(id)
+                    ));
+                }
+                if sh.owners.get(slot).copied().unwrap_or(FREE_OWNER) == FREE_OWNER {
+                    return Err(format!("vnode {id} points at freed slot {slot}"));
+                }
+                let Some(tv) = sh.tasks.get(slot) else {
+                    return Err(format!("vnode {id} points at missing slot {slot}"));
+                };
+                counted += tv.len() as u64;
+                let pred = self.predecessor_of(id).unwrap_or(id);
+                for &k in tv.iter() {
+                    if pred != id && !arc::in_arc(pred, id, k) {
+                        return Err(format!("key {k} at {id} outside arc ({pred}, {id}]"));
+                    }
+                }
+            }
+        }
+        if live != self.len {
+            return Err(format!("len {} but counted {live} vnodes", self.len));
+        }
+        if counted != self.total_tasks {
+            return Err(format!(
+                "total_tasks {} but counted {counted}",
+                self.total_tasks
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The engine selector the simulator embeds: the classic ordered-map
+/// ring for a single shard, the struct-of-arrays engine otherwise.
+/// Every forwarded operation is bit-for-bit identical across variants.
+#[derive(Debug, Clone)]
+pub enum RingStore {
+    /// The classic [`Ring`] (shards = 1).
+    Solo(Ring),
+    /// The arc-range sharded engine (shards ≥ 2).
+    Sharded(ShardedRing),
+}
+
+impl RingStore {
+    /// Picks the engine for a resolved shard count.
+    pub fn with_shards(shards: usize) -> RingStore {
+        if shards <= 1 {
+            RingStore::Solo(Ring::new())
+        } else {
+            RingStore::Sharded(ShardedRing::new(shards))
+        }
+    }
+
+    /// Number of arc-range shards (1 for the classic engine).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            RingStore::Solo(_) => 1,
+            RingStore::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            RingStore::Solo(r) => r.len(),
+            RingStore::Sharded(s) => s.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn total_tasks(&self) -> u64 {
+        match self {
+            RingStore::Solo(r) => r.total_tasks(),
+            RingStore::Sharded(s) => s.total_tasks(),
+        }
+    }
+
+    pub fn contains(&self, id: Id) -> bool {
+        match self {
+            RingStore::Solo(r) => r.contains(id),
+            RingStore::Sharded(s) => s.contains(id),
+        }
+    }
+
+    pub fn load(&self, id: Id) -> u64 {
+        match self {
+            RingStore::Solo(r) => r.load(id),
+            RingStore::Sharded(s) => s.load(id),
+        }
+    }
+
+    /// The worker controlling the vnode at `id`, if present.
+    pub fn vnode_owner(&self, id: Id) -> Option<WorkerId> {
+        match self {
+            RingStore::Solo(r) => r.vnode(id).map(|v| v.owner),
+            RingStore::Sharded(s) => s.vnode_owner(id),
+        }
+    }
+
+    pub fn owner_of_key(&self, key: Id) -> Option<Id> {
+        match self {
+            RingStore::Solo(r) => r.owner_of_key(key),
+            RingStore::Sharded(s) => s.owner_of_key(key),
+        }
+    }
+
+    pub fn successor_of(&self, id: Id) -> Option<Id> {
+        match self {
+            RingStore::Solo(r) => r.successor_of(id),
+            RingStore::Sharded(s) => s.successor_of(id),
+        }
+    }
+
+    pub fn predecessor_of(&self, id: Id) -> Option<Id> {
+        match self {
+            RingStore::Solo(r) => r.predecessor_of(id),
+            RingStore::Sharded(s) => s.predecessor_of(id),
+        }
+    }
+
+    pub fn successors(&self, id: Id, k: usize) -> Vec<Id> {
+        match self {
+            RingStore::Solo(r) => r.successors(id, k),
+            RingStore::Sharded(s) => s.successors(id, k),
+        }
+    }
+
+    pub fn predecessors(&self, id: Id, k: usize) -> Vec<Id> {
+        match self {
+            RingStore::Solo(r) => r.predecessors(id, k),
+            RingStore::Sharded(s) => s.predecessors(id, k),
+        }
+    }
+
+    pub fn insert_vnode(&mut self, id: Id, owner: WorkerId) -> Result<u64, RingError> {
+        match self {
+            RingStore::Solo(r) => r.insert_vnode(id, owner),
+            RingStore::Sharded(s) => s.insert_vnode(id, owner),
+        }
+    }
+
+    pub fn remove_vnode(&mut self, id: Id) -> Result<(WorkerId, u64, Id), RingError> {
+        match self {
+            RingStore::Solo(r) => r.remove_vnode(id),
+            RingStore::Sharded(s) => s.remove_vnode(id),
+        }
+    }
+
+    pub fn assign_tasks(&mut self, keys: Vec<Id>) {
+        match self {
+            RingStore::Solo(r) => r.assign_tasks(keys),
+            RingStore::Sharded(s) => s.assign_tasks(keys),
+        }
+    }
+
+    pub fn pop_task(&mut self, id: Id) -> bool {
+        match self {
+            RingStore::Solo(r) => r.pop_task(id),
+            RingStore::Sharded(s) => s.pop_task(id),
+        }
+    }
+
+    pub fn median_task_key(&self, id: Id) -> Option<Id> {
+        match self {
+            RingStore::Solo(r) => r.median_task_key(id),
+            RingStore::Sharded(s) => s.median_task_key(id),
+        }
+    }
+
+    pub fn loads_by_owner(&self, workers: usize) -> Vec<u64> {
+        match self {
+            RingStore::Solo(r) => r.loads_by_owner(workers),
+            RingStore::Sharded(s) => s.loads_by_owner(workers),
+        }
+    }
+
+    /// Remaining task keys at one virtual node, in internal queue order.
+    pub fn tasks(&self, id: Id) -> Option<&[Id]> {
+        match self {
+            RingStore::Solo(r) => r.vnode(id).map(|v| v.tasks.as_slice()),
+            RingStore::Sharded(s) => s.tasks(id),
+        }
+    }
+
+    /// `(id, owner, tasks)` for every vnode in global ring order.
+    pub fn rows(&self) -> Vec<(Id, WorkerId, Vec<Id>)> {
+        match self {
+            RingStore::Solo(r) => r
+                .iter()
+                .map(|(id, v)| (*id, v.owner, v.tasks.clone()))
+                .collect(),
+            RingStore::Sharded(s) => s.rows(),
+        }
+    }
+
+    /// `(id, load)` for every vnode in global ring order.
+    pub fn vnode_loads(&self) -> Vec<(Id, u64)> {
+        match self {
+            RingStore::Solo(r) => r
+                .iter()
+                .map(|(id, v)| (*id, v.tasks.len() as u64))
+                .collect(),
+            RingStore::Sharded(s) => s.vnode_loads(),
+        }
+    }
+
+    /// Mergeable whole-ring load summary (per-shard partials merged at
+    /// the barrier for the sharded engine).
+    pub fn summary(&self) -> DistSummary {
+        match self {
+            RingStore::Solo(r) => {
+                let mut s = DistSummary::default();
+                for (_, v) in r.iter() {
+                    s.observe(v.tasks.len() as u64);
+                }
+                s
+            }
+            RingStore::Sharded(s) => s.summary(),
+        }
+    }
+
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            RingStore::Solo(r) => r.check_invariants(),
+            RingStore::Sharded(s) => s.check_invariants(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn rid(rng: &mut ChaCha8Rng) -> Id {
+        Id::random(rng)
+    }
+
+    /// Drives the same operation soup through a classic ring and a
+    /// sharded ring, asserting identical observable state throughout.
+    fn differential_soup(shards: usize, seed: u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut solo = Ring::new();
+        let mut sharded = ShardedRing::new(shards);
+        let mut ids: Vec<Id> = Vec::new();
+        // Seed population + tasks.
+        for w in 0..40usize {
+            let id = rid(&mut rng);
+            assert_eq!(
+                solo.insert_vnode(id, w).unwrap(),
+                sharded.insert_vnode(id, w).unwrap()
+            );
+            ids.push(id);
+        }
+        let keys: Vec<Id> = (0..4_000).map(|_| rid(&mut rng)).collect();
+        solo.assign_tasks(keys.clone());
+        sharded.assign_tasks(keys);
+        for step in 0..600 {
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    let id = rid(&mut rng);
+                    let owner = rng.gen_range(0..64usize);
+                    let a = solo.insert_vnode(id, owner);
+                    let b = sharded.insert_vnode(id, owner);
+                    assert_eq!(a, b, "insert parity at step {step}");
+                    if a.is_ok() {
+                        ids.push(id);
+                    }
+                }
+                1 if ids.len() > 1 => {
+                    let at = rng.gen_range(0..ids.len());
+                    let id = ids.swap_remove(at);
+                    let a = solo.remove_vnode(id);
+                    let b = sharded.remove_vnode(id);
+                    assert_eq!(a, b, "remove parity at step {step}");
+                }
+                2 if !ids.is_empty() => {
+                    let id = ids[rng.gen_range(0..ids.len())];
+                    assert_eq!(solo.pop_task(id), sharded.pop_task(id));
+                }
+                _ => {
+                    let probe = rid(&mut rng);
+                    assert_eq!(solo.owner_of_key(probe), sharded.owner_of_key(probe));
+                    assert_eq!(solo.successor_of(probe), sharded.successor_of(probe));
+                    assert_eq!(solo.predecessor_of(probe), sharded.predecessor_of(probe));
+                }
+            }
+            assert_eq!(solo.total_tasks(), sharded.total_tasks());
+            assert_eq!(solo.len(), sharded.len());
+        }
+        sharded.check_invariants().unwrap();
+        solo.check_invariants().unwrap();
+        for &id in &ids {
+            assert_eq!(solo.load(id), sharded.load(id));
+            assert_eq!(solo.median_task_key(id), sharded.median_task_key(id));
+        }
+        let solo_loads: Vec<(Id, u64)> = solo
+            .iter()
+            .map(|(id, v)| (*id, v.tasks.len() as u64))
+            .collect();
+        assert_eq!(solo_loads, sharded.vnode_loads());
+    }
+
+    #[test]
+    fn op_soup_matches_classic_ring_across_shard_counts() {
+        for shards in [2, 3, 8, 64] {
+            differential_soup(shards, 0xC0FFEE ^ shards as u64);
+        }
+    }
+
+    #[test]
+    fn shard_of_is_monotone_and_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for shards in [1usize, 2, 3, 8, 64] {
+            let mut pairs: Vec<(Id, usize)> = (0..500)
+                .map(|_| rid(&mut rng))
+                .map(|i| (i, shard_of(i, shards)))
+                .collect();
+            pairs.sort();
+            for w in pairs.windows(2) {
+                assert!(w[0].1 <= w[1].1, "shard_of must be monotone");
+            }
+            assert!(pairs.iter().all(|&(_, s)| s < shards));
+        }
+        assert_eq!(shard_of(Id::ZERO, 64), 0);
+        assert_eq!(shard_of(Id::MAX, 64), 63);
+    }
+
+    #[test]
+    fn summaries_merge_to_whole_ring() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut ring = ShardedRing::new(8);
+        for w in 0..50usize {
+            ring.insert_vnode(rid(&mut rng), w).unwrap();
+        }
+        ring.assign_tasks((0..2_000).map(|_| rid(&mut rng)).collect());
+        let merged = ring.summary();
+        assert_eq!(merged.n, 50);
+        assert_eq!(merged.total, 2_000);
+        let mut refold = DistSummary::default();
+        for s in ring.shard_summaries() {
+            refold.merge(&s);
+        }
+        assert_eq!(refold, merged);
+        let max = ring
+            .vnode_loads()
+            .into_iter()
+            .map(|(_, l)| l)
+            .max()
+            .unwrap();
+        assert_eq!(merged.max, max);
+    }
+
+    #[test]
+    fn fast_pop_stream_matches_sequential_pops() {
+        // Two identical rings, one popped sequentially (the classic
+        // draw order), one through the planned-stream fast path.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let build = |shards: usize, rng: &mut ChaCha8Rng| {
+            let mut r = ShardedRing::new(shards);
+            let ids: Vec<Id> = (0..30).map(|_| Id::random(&mut *rng)).collect();
+            for (w, &id) in ids.iter().enumerate() {
+                r.insert_vnode(id, w).unwrap();
+            }
+            (r, ids)
+        };
+        let mut seq_rng = rng.clone();
+        let (mut seq, ids) = build(4, &mut seq_rng);
+        let (mut fast, ids2) = build(4, &mut rng);
+        assert_eq!(ids, ids2);
+        let keys: Vec<Id> = (0..900).map(|_| rid(&mut rng)).collect();
+        seq.assign_tasks(keys.clone());
+        fast.assign_tasks(keys);
+        for _tick in 0..5 {
+            // Plan: every worker pops min(2, load) — capacity 2.
+            let mut total = 0u64;
+            fast.offs.clear();
+            fast.pops.clear();
+            fast.offs.resize(ids.len(), 0);
+            fast.pops.resize(ids.len(), 0);
+            for (w, &id) in ids.iter().enumerate() {
+                let p = fast.load(id).min(2);
+                fast.offs[w] = total;
+                fast.pops[w] = p as u32;
+                total += p;
+            }
+            fast.run_pops(total);
+            // Sequential: same worker order, same per-worker counts.
+            for &id in &ids {
+                let p = seq.load(id).min(2);
+                for _ in 0..p {
+                    assert!(seq.pop_task(id));
+                }
+            }
+            assert_eq!(seq.total_tasks(), fast.total_tasks());
+            for &id in &ids {
+                assert_eq!(seq.load(id), fast.load(id));
+            }
+        }
+        assert_eq!(seq.vnode_loads(), fast.vnode_loads());
+        seq.check_invariants().unwrap();
+        fast.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ring_store_selects_engine_by_shard_count() {
+        assert!(matches!(RingStore::with_shards(1), RingStore::Solo(_)));
+        assert!(matches!(RingStore::with_shards(4), RingStore::Sharded(_)));
+        assert_eq!(RingStore::with_shards(4).shard_count(), 4);
+        assert_eq!(RingStore::with_shards(1).shard_count(), 1);
+    }
+
+    #[test]
+    fn last_vnode_rules_match_classic() {
+        let mut r = ShardedRing::new(4);
+        let id = Id::from(42u64);
+        r.insert_vnode(id, 0).unwrap();
+        r.assign_tasks(vec![Id::from(7u64)]);
+        assert_eq!(r.remove_vnode(id), Err(RingError::LastVNode));
+        assert!(r.pop_task(id));
+        assert_eq!(r.remove_vnode(id), Ok((0, 0, id)));
+        assert!(r.is_empty());
+        assert_eq!(r.remove_vnode(id), Err(RingError::Unknown(id)));
+    }
+}

@@ -2,7 +2,8 @@
 
 use crate::config::{Heterogeneity, SimConfig, WorkMeasurement};
 use crate::metrics::{RunResult, SimMessageStats, Snapshot, TickSeries};
-use crate::ring::{Ring, RingError};
+use crate::ring::RingError;
+use crate::shard::RingStore;
 use crate::strategy::{
     invitation::{pick_helper, HelperCandidate},
     ActionError, Actions, ChurnOps, InviteOutcome, LocalView, OracleView, Strategy, StrategyParams,
@@ -26,7 +27,7 @@ use rand::Rng;
 /// then call [`Sim::run`] — or drive tick by tick with [`Sim::step`].
 pub struct Sim {
     pub(crate) cfg: SimConfig,
-    pub(crate) ring: Ring,
+    pub(crate) ring: RingStore,
     pub(crate) workers: Vec<Worker>,
     /// Worker ids currently parked in the churn waiting pool.
     pub(crate) waiting: Vec<WorkerId>,
@@ -48,6 +49,19 @@ pub struct Sim {
     dist: LoadDist,
     /// Whether the load dist is maintained (any sampling armed).
     dist_on: bool,
+    /// Whether ticks may run with the worker load ledger detached:
+    /// sharded engine, no churn, no strategy, no sampling or snapshots
+    /// armed — nothing can observe per-worker loads mid-run, so the
+    /// planned tick reads loads from the ring's dense columns instead
+    /// of streaming the whole worker table (see `step`).
+    ledger_detached_ok: bool,
+    /// Per-worker tick capacities cached for the ring-side planner
+    /// (static while the ledger-detached gate holds: no churn means no
+    /// worker set changes, and strengths never change).
+    caps: Vec<u32>,
+    /// True while worker `load` caches lag the ring because detached
+    /// ticks have run since the last [`Sim::sync_loads`].
+    loads_desynced: bool,
     /// Streaming metrics recorder; free when `record_metrics` is off.
     pub(crate) hub: MetricsHub,
     pub(crate) events: EventLog,
@@ -103,7 +117,7 @@ impl Sim {
             }
         };
 
-        let mut ring = Ring::new();
+        let mut ring = RingStore::with_shards(cfg.resolved_shards());
         let mut workers = Vec::with_capacity(cfg.nodes * 2);
         for id in node_ids {
             let s = draw_strength(&mut strength_rng);
@@ -161,6 +175,20 @@ impl Sim {
             }
         }
         let hub = MetricsHub::new(cfg.record_metrics).with_ring(cfg.metrics_ring);
+        let ledger_detached_ok = matches!(cfg.strategy, crate::config::StrategyKind::None)
+            && !cfg.churn_enabled()
+            && !dist_on
+            && cfg.snapshot_ticks.is_empty()
+            && matches!(ring, RingStore::Sharded(_));
+        let caps: Vec<u32> = if ledger_detached_ok {
+            let sb = cfg.work_measurement == WorkMeasurement::StrengthPerTick;
+            workers
+                .iter()
+                .map(|w| w.capacity(sb).min(u32::MAX as u64) as u32)
+                .collect()
+        } else {
+            Vec::new()
+        };
         Sim {
             cfg,
             ring,
@@ -179,6 +207,9 @@ impl Sim {
             series: TickSeries::default(),
             dist,
             dist_on,
+            ledger_detached_ok,
+            caps,
+            loads_desynced: false,
             hub,
             events: EventLog::new(cfg_record_events),
             trace,
@@ -201,8 +232,8 @@ impl Sim {
         self.active_count
     }
 
-    /// Read-only view of the ring.
-    pub fn ring(&self) -> &Ring {
+    /// Read-only view of the ring storage engine.
+    pub fn ring(&self) -> &RingStore {
         &self.ring
     }
 
@@ -217,12 +248,41 @@ impl Sim {
     }
 
     /// Per-active-worker loads (the quantity the paper's histograms bin).
+    ///
+    /// Always truthful: while the load ledger is detached (see `step`)
+    /// the loads are read back from the ring instead of the stale
+    /// worker caches.
     pub fn active_loads(&self) -> Vec<u64> {
+        if self.loads_desynced {
+            let loads = self.ring.loads_by_owner(self.workers.len());
+            return self
+                .workers
+                .iter()
+                .zip(&loads)
+                .filter(|(w, _)| w.is_active())
+                .map(|(_, &l)| l)
+                .collect();
+        }
         self.workers
             .iter()
             .filter(|w| w.is_active())
             .map(|w| w.load)
             .collect()
+    }
+
+    /// Re-derives every active worker's cached load from the ring.
+    /// No-op unless detached ticks have run since the last sync.
+    fn sync_loads(&mut self) {
+        if !self.loads_desynced {
+            return;
+        }
+        let loads = self.ring.loads_by_owner(self.workers.len());
+        for (w, &l) in self.workers.iter_mut().zip(&loads) {
+            if w.is_active() {
+                w.load = l;
+            }
+        }
+        self.loads_desynced = false;
     }
 
     /// Captures a snapshot of the current workload distribution.
@@ -256,37 +316,100 @@ impl Sim {
         // 3. Every active worker consumes up to its capacity.
         let strength_based = self.cfg.work_measurement == WorkMeasurement::StrengthPerTick;
         let mut consumed = 0u64;
-        for idx in 0..self.workers.len() {
-            if !self.workers[idx].is_active() {
-                continue;
+        // Sharded fast path: when every active worker controls exactly
+        // its primary (no Sybils or static virtual servers, which is
+        // `ring.len() == active_count`), each worker's pop count for
+        // the tick is `min(capacity, load)` — known before any pop. A
+        // sequential planning pass assigns each worker its offset into
+        // the tick's pop-state stream (and settles load caches and the
+        // load distribution in the classic per-worker order), then the
+        // shards replay their slices of the stream independently —
+        // bit-for-bit the pops the loop below would have made.
+        let fast =
+            matches!(self.ring, RingStore::Sharded(_)) && self.ring.len() == self.active_count;
+        // Detached-ledger tick: with nothing armed that could observe
+        // per-worker loads mid-run (see `ledger_detached_ok`), the
+        // planning pass reads loads from the ring's dense queue-length
+        // columns and skips the worker-table stream entirely — per-tick
+        // memory traffic drops from the whole `Worker` array to the
+        // shards' owner/length columns. Worker `load` caches go stale
+        // and are re-derived from the ring by `sync_loads` before
+        // anything can read them.
+        let detached = fast && self.ledger_detached_ok;
+        if self.loads_desynced && !detached {
+            self.sync_loads();
+        }
+        if detached {
+            if let RingStore::Sharded(sr) = &mut self.ring {
+                consumed = sr.plan_pops_from_ring(&self.caps);
+                sr.run_pops(consumed);
+                self.loads_desynced = true;
             }
-            let mut cap = self.workers[idx].capacity(strength_based);
-            let load = self.workers[idx].load;
-            if cap == 0 || load == 0 {
-                continue;
+        } else if fast {
+            if let RingStore::Sharded(sr) = &mut self.ring {
+                sr.offs.clear();
+                sr.pops.clear();
+                sr.offs.resize(self.workers.len(), 0);
+                sr.pops.resize(self.workers.len(), 0);
+                for (idx, w) in self.workers.iter_mut().enumerate() {
+                    if !w.is_active() {
+                        continue;
+                    }
+                    let cap = w.capacity(strength_based);
+                    let load = w.load;
+                    if cap == 0 || load == 0 {
+                        continue;
+                    }
+                    let p = cap.min(load);
+                    sr.offs[idx] = consumed;
+                    sr.pops[idx] = p as u32;
+                    consumed += p;
+                    if self.dist_on {
+                        self.dist.update(load, load - p);
+                    }
+                    w.load = load - p;
+                }
+                sr.run_pops(consumed);
             }
-            // Drain primary first, then Sybils. The vnode iterator
-            // borrows the worker table immutably while `pop_task`
-            // mutates the (disjoint) ring, so no per-worker collection
-            // is needed; the load cache is settled after the loop.
-            let mut consumed_w = 0u64;
-            'outer: for v in self.workers[idx].vnodes() {
-                while cap > 0 && self.ring.pop_task(v) {
-                    cap -= 1;
-                    consumed_w += 1;
-                    if consumed_w == load {
-                        break 'outer;
+        } else {
+            let ring = &mut self.ring;
+            let dist = &mut self.dist;
+            let dist_on = self.dist_on;
+            for w in self.workers.iter_mut() {
+                // Load first: in the drain tail most workers sit at 0,
+                // and waiting workers always do, so one field read
+                // usually settles the whole iteration.
+                let load = w.load;
+                if load == 0 || !w.is_active() {
+                    continue;
+                }
+                let mut cap = w.capacity(strength_based);
+                if cap == 0 {
+                    continue;
+                }
+                // Drain primary first, then Sybils. The vnode iterator
+                // borrows the worker immutably while `pop_task` mutates
+                // the (disjoint) ring, so no per-worker collection is
+                // needed; the load cache is settled after the loop.
+                let mut consumed_w = 0u64;
+                'outer: for v in w.vnodes() {
+                    while cap > 0 && ring.pop_task(v) {
+                        cap -= 1;
+                        consumed_w += 1;
+                        if consumed_w == load {
+                            break 'outer;
+                        }
+                    }
+                    if cap == 0 {
+                        break;
                     }
                 }
-                if cap == 0 {
-                    break;
+                consumed += consumed_w;
+                if dist_on {
+                    dist.update(load, load - consumed_w);
                 }
+                w.load = load - consumed_w;
             }
-            consumed += consumed_w;
-            if self.dist_on {
-                self.dist.update(load, load - consumed_w);
-            }
-            self.workers[idx].load = load - consumed_w;
         }
         self.work_history.push(consumed);
         self.hub.inc(metric_names::TICKS);
@@ -393,6 +516,7 @@ impl Sim {
                 }
             }
         }
+        self.sync_loads();
         let completed = self.ring.total_tasks() == 0;
         let ideal = self.cfg.ideal_ticks().max(1);
         self.trace.run_end(self.tick, completed);
@@ -516,7 +640,7 @@ impl Sim {
         let acquired = self.ring.insert_vnode(pos, owner)?;
         if acquired > 0 {
             let victim_vnode = self.ring.successor_of(pos).expect("successor after split");
-            let victim_owner = self.ring.vnode(victim_vnode).expect("vnode").owner;
+            let victim_owner = self.ring.vnode_owner(victim_vnode).expect("vnode");
             // Mirror both load deltas into the incremental distribution
             // (a self-transfer is a net no-op there).
             if self.dist_on && victim_owner != owner {
@@ -535,7 +659,7 @@ impl Sim {
     pub(crate) fn remove_vnode_tracked(&mut self, pos: Id) -> Result<u64, RingError> {
         let (owner, moved, succ) = self.ring.remove_vnode(pos)?;
         if moved > 0 {
-            let succ_owner = self.ring.vnode(succ).expect("successor").owner;
+            let succ_owner = self.ring.vnode_owner(succ).expect("successor");
             if self.dist_on && succ_owner != owner {
                 let o = self.workers[owner].load;
                 let s = self.workers[succ_owner].load;
@@ -716,10 +840,7 @@ impl OracleView for Sim {
     }
 
     fn vnode_loads(&self) -> Vec<(Id, u64)> {
-        self.ring
-            .iter()
-            .map(|(id, v)| (*id, v.tasks.len() as u64))
-            .collect()
+        self.ring.vnode_loads()
     }
 
     fn vnode_load(&self, v: Id) -> u64 {
@@ -857,7 +978,7 @@ impl Actions for SimNodeCtx<'_> {
         // vnode (impossible on a consistent ring) voids the whole round.
         let candidates: Option<Vec<HelperCandidate>> = preds
             .iter()
-            .map(|&p| sim.ring.vnode(p).map(|v| v.owner))
+            .map(|&p| sim.ring.vnode_owner(p))
             .collect::<Option<Vec<WorkerId>>>()
             .map(|owners| {
                 owners

@@ -276,6 +276,7 @@ mod tests {
         Args {
             targets: vec![],
             trials: 1,
+            full: false,
             out: std::env::temp_dir().join("autobal-byzantine-test"),
             seed: 7,
             trace: None,

@@ -15,6 +15,10 @@ pub struct Args {
     pub targets: Vec<String>,
     /// Trials per cell (paper: 100; quick default: 5).
     pub trials: u64,
+    /// `--full`: run the paper-scale versions of every target (100
+    /// trials per cell; the perf scaling family sweeps up to 1M
+    /// workers instead of the reduced CI grid).
+    pub full: bool,
     /// Output directory.
     pub out: PathBuf,
     /// Master seed.
@@ -25,7 +29,7 @@ pub struct Args {
     /// Record strategy event logs in single-run experiments.
     pub events: bool,
     /// Committed benchmark baseline to compare against (`repro perf
-    /// --baseline BENCH_6.json`); `None` skips the comparison.
+    /// --baseline BENCH_10.json`); `None` skips the comparison.
     pub baseline: Option<PathBuf>,
     /// Workload memo table shared by every cell this process runs, so
     /// cells that differ only in strategy reuse one generated workload.
@@ -37,6 +41,7 @@ impl Args {
         let mut args = Args {
             targets: Vec::new(),
             trials: 5,
+            full: false,
             out: PathBuf::from("results"),
             seed: 0xA0B1_C2D3,
             trace: None,
@@ -47,8 +52,14 @@ impl Args {
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--quick" => args.trials = 5,
-                "--full" => args.trials = 100,
+                "--quick" => {
+                    args.trials = 5;
+                    args.full = false;
+                }
+                "--full" => {
+                    args.trials = 100;
+                    args.full = true;
+                }
                 "--trials" => {
                     args.trials = it
                         .next()
@@ -189,6 +200,8 @@ mod tests {
     fn parse_full_and_targets() {
         let a = Args::parse(&s(&["--full", "table2", "fig1"])).unwrap();
         assert_eq!(a.trials, 100);
+        assert!(a.full);
+        assert!(!Args::parse(&s(&["--quick"])).unwrap().full);
         assert!(a.wants("table2"));
         assert!(a.wants("fig1"));
         assert!(!a.wants("table1"));
@@ -213,8 +226,8 @@ mod tests {
     fn parse_baseline_path() {
         let a = Args::parse(&[]).unwrap();
         assert!(a.baseline.is_none());
-        let a = Args::parse(&s(&["--baseline", "BENCH_6.json"])).unwrap();
-        assert_eq!(a.baseline, Some(PathBuf::from("BENCH_6.json")));
+        let a = Args::parse(&s(&["--baseline", "BENCH_10.json"])).unwrap();
+        assert_eq!(a.baseline, Some(PathBuf::from("BENCH_10.json")));
     }
 
     #[test]

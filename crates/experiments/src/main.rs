@@ -12,7 +12,7 @@
 //!                                                        (default: all)
 //!
 //! The `perf` target (never part of the default set) runs the pinned
-//! benchmark scenarios and writes `BENCH_6.json`; `--baseline PATH`
+//! benchmark scenarios and writes `BENCH_10.json`; `--baseline PATH`
 //! compares it against a committed baseline and fails on a >2x
 //! throughput regression.
 //! ```

@@ -2,7 +2,7 @@
 //!
 //! Runs pinned end-to-end scenarios on every substrate — the oracle
 //! ring, the synchronous protocol loop, the event-time strategy loop,
-//! and the raw eventnet lookup plane — and emits `BENCH_6.json`
+//! and the raw eventnet lookup plane — and emits `BENCH_10.json`
 //! (schema `autobal-perf-v1`) with wall time and throughput per
 //! scenario. The oracle-ring scenario additionally runs
 //! the naive pre-optimization reference engine
@@ -11,9 +11,18 @@
 //! and reports the measured speedup — so the headline number is never a
 //! comparison across machines or commits.
 //!
+//! The `oracle_scaling` family sweeps worker count × shard count
+//! through the arc-range sharded engine (tasks proportional at 100 per
+//! worker, drain-phase timing over a shared pre-generated workload):
+//! the reduced CI grid is 100k workers at shards {1, 4}; `--full` runs
+//! n ∈ {6k, 50k, 100k, 500k, 1M} at shards {1, 2, 4, 8}. Every cell
+//! asserts tick-exact equality against its 1-shard sibling before any
+//! number is reported.
+//!
 //! `--baseline PATH` compares this run's throughput against a committed
-//! `BENCH_6.json` and fails (exit 1) only on a >2x regression; smaller
-//! wobble is expected CI noise.
+//! `BENCH_10.json` and fails (exit 1) only on a >2x regression; smaller
+//! wobble is expected CI noise. Scenarios absent from the baseline are
+//! skipped, so reduced-grid runs can be gated on full-grid baselines.
 //!
 //! With the `count-allocs` feature the binary's global allocator counts
 //! allocation events and each scenario reports its count; without it
@@ -50,11 +59,18 @@ fn alloc_count<R>(f: impl FnOnce() -> R) -> (Option<u64>, R) {
     (None, f())
 }
 
-/// One measured scenario, as serialized into `BENCH_6.json`.
+/// One measured scenario, as serialized into `BENCH_10.json`.
 struct Measurement {
-    name: &'static str,
+    name: String,
     substrate: &'static str,
-    /// What `work` counts: `"ticks"` or `"events"`.
+    /// Scenario family for grouped rows (`"oracle_scaling"`), `null`
+    /// for the standalone pinned scenarios.
+    group: Option<&'static str>,
+    /// Scaling rows: the worker count of the cell.
+    workers: Option<u64>,
+    /// Scaling rows: the configured shard count of the cell.
+    shards: Option<u32>,
+    /// What `work` counts: `"ticks"`, `"tasks"`, or `"events"`.
     units: &'static str,
     work: u64,
     wall_ms: f64,
@@ -76,12 +92,23 @@ fn opt_f64(v: Option<f64>) -> String {
     v.map_or("null".to_string(), |x| format!("{x:.2}"))
 }
 
+fn opt_str(v: Option<&'static str>) -> String {
+    v.map_or("null".to_string(), |s| format!("\"{s}\""))
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    v.map_or("null".to_string(), |n| n.to_string())
+}
+
 impl Measurement {
     fn to_json(&self) -> String {
         format!(
-            "    {{\n      \"name\": \"{}\",\n      \"substrate\": \"{}\",\n      \"units\": \"{}\",\n      \"work\": {},\n      \"wall_ms\": {:.2},\n      \"throughput\": {:.2},\n      \"allocations\": {},\n      \"peak_vnodes\": {},\n      \"naive_wall_ms\": {},\n      \"speedup_vs_naive\": {}\n    }}",
+            "    {{\n      \"name\": \"{}\",\n      \"substrate\": \"{}\",\n      \"group\": {},\n      \"workers\": {},\n      \"shards\": {},\n      \"units\": \"{}\",\n      \"work\": {},\n      \"wall_ms\": {:.2},\n      \"throughput\": {:.2},\n      \"allocations\": {},\n      \"peak_vnodes\": {},\n      \"naive_wall_ms\": {},\n      \"speedup_vs_naive\": {}\n    }}",
             self.name,
             self.substrate,
+            opt_str(self.group),
+            opt_u64(self.workers),
+            opt_u32(self.shards),
             self.units,
             self.work,
             self.wall_ms,
@@ -171,7 +198,10 @@ fn oracle_ring_large(args: &Args) -> Measurement {
         speedup
     );
     Measurement {
-        name: "oracle_ring_large",
+        name: "oracle_ring_large".to_string(),
+        group: None,
+        workers: None,
+        shards: None,
         substrate: "oracle-ring",
         units: "ticks",
         work: opt.ticks,
@@ -203,7 +233,10 @@ fn chord_protocol(args: &Args) -> Measurement {
         run.ticks as f64 / (ms / 1e3)
     );
     Measurement {
-        name: "chord_protocol",
+        name: "chord_protocol".to_string(),
+        group: None,
+        workers: None,
+        shards: None,
         substrate: "protocol",
         units: "ticks",
         work: run.ticks,
@@ -243,7 +276,10 @@ fn event_substrate(args: &Args) -> Measurement {
         run.wire_events as f64 / (ms / 1e3)
     );
     Measurement {
-        name: "event_substrate",
+        name: "event_substrate".to_string(),
+        group: None,
+        workers: None,
+        shards: None,
         substrate: "event",
         units: "events",
         work: run.wire_events,
@@ -285,7 +321,10 @@ fn eventnet(args: &Args) -> Measurement {
         events as f64 / (ms / 1e3)
     );
     Measurement {
-        name: "eventnet",
+        name: "eventnet".to_string(),
+        group: None,
+        workers: None,
+        shards: None,
         substrate: "eventnet",
         units: "events",
         work: events,
@@ -394,7 +433,10 @@ fn stats_incremental(args: &Args) -> Measurement {
         STATS_TICKS, STATS_WORKERS, inc_ms, batch_ms, speedup
     );
     Measurement {
-        name: "stats_incremental",
+        name: "stats_incremental".to_string(),
+        group: None,
+        workers: None,
+        shards: None,
         substrate: "metrics",
         units: "ticks",
         work: STATS_TICKS,
@@ -407,7 +449,140 @@ fn stats_incremental(args: &Args) -> Measurement {
     }
 }
 
-/// Compares this run against a committed `BENCH_6.json`. Returns the
+/// The scaling grid: `(workers, shard counts)` cells. Tasks are
+/// proportional (100 per worker) so every cell drains the same
+/// per-worker workload; the reduced grid is the CI smoke.
+fn scaling_grid(full: bool) -> Vec<(u64, Vec<u32>)> {
+    if full {
+        [6_000u64, 50_000, 100_000, 500_000, 1_000_000]
+            .into_iter()
+            .map(|n| (n, vec![1u32, 2, 4, 8]))
+            .collect()
+    } else {
+        vec![(100_000, vec![1, 4])]
+    }
+}
+
+/// Tasks per worker in every scaling cell.
+const SCALING_TASKS_PER_WORKER: u64 = 100;
+
+/// Repetitions per scaling cell (best-of). The cells are long enough
+/// that two repetitions bound the noise the pinned scenarios need five
+/// for.
+const SCALING_REPS: usize = 2;
+
+/// The `oracle_scaling` family: worker count × shard count, timing the
+/// drain phase only. The workload (node ids + pre-sorted task keys) is
+/// generated once per worker count and shared by every shard count and
+/// repetition, so cell times compare tick engines, not workload
+/// generation; `Sim::with_placement` construction (ring build + task
+/// assignment) also stays outside the clock. Before any cell is
+/// reported, its run is asserted tick-exact against the 1-shard cell
+/// of the same worker count — the cross-engine equality gate.
+fn oracle_scaling(args: &Args) -> Vec<Measurement> {
+    // Distinct node ids (160-bit collisions are astronomically rare,
+    // but `Sim::with_placement` refuses duplicates, so dedup anyway).
+    fn unique_ids(n: usize, rng: &mut impl Rng) -> Vec<autobal_id::Id> {
+        let mut ids: Vec<autobal_id::Id> = (0..n).map(|_| autobal_id::Id::random(rng)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        while ids.len() < n {
+            ids.push(autobal_id::Id::random(rng));
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        ids
+    }
+
+    let mut out = Vec::new();
+    for (workers, shard_counts) in scaling_grid(args.full) {
+        let tasks = workers * SCALING_TASKS_PER_WORKER;
+        let seed = args.seed ^ 0x5CA1;
+        // One workload per worker count. Keys are pre-sorted once:
+        // `assign_tasks` sorts its input, and a sorted master vector
+        // makes that re-sort a cheap linear pass in every repetition.
+        let mut placement = substream(seed, 0, domains::PLACEMENT);
+        let node_ids = unique_ids(workers as usize, &mut placement);
+        let mut task_keys: Vec<autobal_id::Id> = (0..tasks)
+            .map(|_| autobal_id::Id::random(&mut placement))
+            .collect();
+        task_keys.sort_unstable();
+
+        let mut reference: Option<(u64, f64)> = None;
+        for &shards in &shard_counts {
+            let cfg = SimConfig {
+                nodes: workers as usize,
+                tasks,
+                strategy: StrategyKind::None,
+                churn_rate: 0.0,
+                series_interval: None,
+                shards,
+                ..SimConfig::default()
+            };
+            let mut best_ms = f64::INFINITY;
+            let mut allocs = None;
+            let mut ticks = 0u64;
+            let mut peak = 0u64;
+            for _ in 0..SCALING_REPS {
+                let sim =
+                    Sim::with_placement(cfg.clone(), seed, node_ids.clone(), task_keys.clone());
+                let (ms, (a, run)) = wall_ms(|| alloc_count(|| sim.run()));
+                assert!(run.completed, "scaling cell did not drain");
+                best_ms = best_ms.min(ms);
+                allocs = a;
+                ticks = run.ticks;
+                peak = run.peak_vnodes as u64;
+                // Tick-exact equality across shard counts: every cell
+                // must replay the 1-shard run's schedule.
+                if let Some((ref_ticks, ref_factor)) = reference {
+                    assert_eq!(
+                        (run.ticks, run.runtime_factor),
+                        (ref_ticks, ref_factor),
+                        "scaling n={workers} s={shards} diverged from 1-shard run"
+                    );
+                } else {
+                    reference = Some((run.ticks, run.runtime_factor));
+                }
+            }
+            let throughput = tasks as f64 / (best_ms / 1e3);
+            println!(
+                "  scaling n={workers} shards={shards}: {ticks} ticks | {best_ms:.0} ms | {throughput:.0} tasks/s"
+            );
+            out.push(Measurement {
+                name: format!("scaling_n{}k_s{}", workers / 1_000, shards),
+                substrate: "oracle-ring",
+                group: Some("oracle_scaling"),
+                workers: Some(workers),
+                shards: Some(shards),
+                units: "tasks",
+                work: tasks,
+                wall_ms: best_ms,
+                throughput,
+                allocations: allocs,
+                peak_vnodes: Some(peak),
+                naive_wall_ms: None,
+                speedup_vs_naive: None,
+            });
+        }
+        // Report the sharded-engine gain over the classic engine for
+        // this worker count (the acceptance figure at n >= 100k).
+        if let (Some(base), Some(best)) = (
+            out.iter()
+                .find(|m| m.workers == Some(workers) && m.shards == Some(1)),
+            out.iter()
+                .filter(|m| m.workers == Some(workers) && m.shards > Some(1))
+                .max_by(|a, b| a.throughput.total_cmp(&b.throughput)),
+        ) {
+            println!(
+                "  scaling n={workers}: best sharded {:.2}x over 1-shard",
+                best.throughput / base.throughput
+            );
+        }
+    }
+    out
+}
+
+/// Compares this run against a committed `BENCH_10.json`. Returns the
 /// regressions found (scenario name, baseline throughput, current).
 fn compare_baseline(
     baseline_raw: &str,
@@ -423,7 +598,7 @@ fn compare_baseline(
     for m in current {
         let Some(base) = scenarios
             .iter()
-            .find(|s| s.get("name").and_then(|n| n.as_str()) == Some(m.name))
+            .find(|s| s.get("name").and_then(|n| n.as_str()) == Some(m.name.as_str()))
         else {
             println!(
                 "  baseline: no scenario `{}` (new scenario, skipping)",
@@ -449,14 +624,15 @@ fn compare_baseline(
 }
 
 pub fn perf(args: &Args) {
-    println!("perf: pinned benchmark scenarios (BENCH_6.json)");
-    let measurements = vec![
+    println!("perf: pinned benchmark scenarios (BENCH_10.json)");
+    let mut measurements = vec![
         oracle_ring_large(args),
         chord_protocol(args),
         event_substrate(args),
         eventnet(args),
         stats_incremental(args),
     ];
+    measurements.extend(oracle_scaling(args));
 
     let body: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
     let json = format!(
@@ -464,7 +640,7 @@ pub fn perf(args: &Args) {
         args.seed,
         body.join(",\n")
     );
-    write_out(&args.out, "BENCH_6.json", &json);
+    write_out(&args.out, "BENCH_10.json", &json);
 
     if let Some(path) = &args.baseline {
         let raw = fs::read_to_string(path)
@@ -493,8 +669,11 @@ mod tests {
 
     fn m(name: &'static str, throughput: f64) -> Measurement {
         Measurement {
-            name,
+            name: name.to_string(),
             substrate: "oracle-ring",
+            group: None,
+            workers: None,
+            shards: None,
             units: "ticks",
             work: 100,
             wall_ms: 10.0,

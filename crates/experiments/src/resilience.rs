@@ -319,6 +319,7 @@ mod tests {
         let args = Args {
             targets: vec![],
             trials: 1,
+            full: false,
             out: std::env::temp_dir().join("autobal-resilience-test"),
             seed: 7,
             trace: None,
@@ -350,6 +351,7 @@ mod tests {
         let args = Args {
             targets: vec![],
             trials: 1,
+            full: false,
             out: std::env::temp_dir().join("autobal-resilience-test"),
             seed: 7,
             trace: None,

@@ -167,6 +167,70 @@ impl LoadDist {
     }
 }
 
+/// Mergeable partial summary of a load multiset.
+///
+/// The sharded tick engine keeps one of these per arc-range shard and
+/// folds them together at the tick barrier. Only aggregates that are
+/// associative under disjoint union are carried — count, total, idle
+/// count, and max — because the rank-weighted sum `W` behind the exact
+/// Gini depends on the *global* ascending order and cannot be merged
+/// from partials; the full [`LoadDist`] remains the source of truth for
+/// fairness gauges. All fields are exact integers, so merging is
+/// order-independent and bit-stable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistSummary {
+    /// Number of observed elements.
+    pub n: u64,
+    /// Exact total load `Σ x_i`.
+    pub total: u128,
+    /// Number of zero-load (idle) elements.
+    pub zeros: u64,
+    /// Largest observed load (0 when empty).
+    pub max: u64,
+}
+
+impl DistSummary {
+    /// Fold one load into the summary.
+    pub fn observe(&mut self, v: u64) {
+        self.n += 1;
+        self.total += v as u128;
+        if v == 0 {
+            self.zeros += 1;
+        }
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another (disjoint) partial summary into this one.
+    pub fn merge(&mut self, other: &DistSummary) {
+        self.n += other.n;
+        self.total += other.total;
+        self.zeros += other.zeros;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Integer mean load, rounded down (0 when empty).
+    pub fn mean_floor(&self) -> u64 {
+        if self.n == 0 {
+            0
+        } else {
+            (self.total / self.n as u128) as u64
+        }
+    }
+}
+
+impl LoadDist {
+    /// The mergeable aggregate view of the tracked multiset; equals the
+    /// fold of [`DistSummary::observe`] over the same elements.
+    pub fn summary(&self) -> DistSummary {
+        DistSummary {
+            n: self.n,
+            total: self.total,
+            zeros: self.zeros(),
+            max: self.max(),
+        }
+    }
+}
+
 /// Integer Gini (ppm) from exact aggregates; shared by the incremental
 /// structure and the batch sampler so both emit identical JSONL.
 pub fn gini_ppm_from_sums(n: u64, total: u128, weighted: u128) -> u64 {

@@ -33,6 +33,6 @@ pub mod profile;
 pub mod registry;
 pub mod sample;
 
-pub use dist::LoadDist;
+pub use dist::{DistSummary, LoadDist};
 pub use hub::{MetricsHub, MetricsSink};
 pub use sample::{MetricsSample, RingSlot};

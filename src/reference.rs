@@ -12,7 +12,7 @@
 //!   in-place split can never drift from the obvious implementation.
 //! * `repro perf` runs `NaiveSim` and the optimized engine on the same
 //!   pinned scenario in the same process, asserts tick-for-tick
-//!   equality, and reports the measured speedup in `BENCH_6.json`.
+//!   equality, and reports the measured speedup in `BENCH_10.json`.
 //!
 //! Nothing here is reachable from the simulator's production paths; it
 //! is deliberately slow and simple.

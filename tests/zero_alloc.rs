@@ -82,6 +82,44 @@ fn metrics_recording_ticks_do_not_allocate() {
     );
 }
 
+/// Sharding keeps the promise: with the struct-of-arrays engine
+/// selected (`shards` ≥ 2) the planned pop path — offset/count
+/// planning pass, state-stream generation, per-shard batch replay —
+/// reuses its buffers and allocates nothing per tick. Measured on a
+/// 1-thread pool because handing work to rayon's scoped threads boxes
+/// closures (a threading-infrastructure cost, not a tick-loop cost);
+/// the sequential dispatch path is the one the zero-alloc contract
+/// covers.
+#[test]
+fn sharded_steady_state_ticks_do_not_allocate() {
+    let mut cfg = steady_cfg();
+    cfg.shards = 4;
+    cfg.record_metrics = true;
+    cfg.metrics_interval = Some(1_000_000);
+    let mut sim = Sim::new(cfg, 0xA0B1_C2D3);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| {
+            for _ in 0..32 {
+                sim.step();
+            }
+            let (allocs, consumed) = allocation_delta(|| {
+                let mut consumed = 0u64;
+                for _ in 0..1_000 {
+                    consumed += sim.step();
+                }
+                consumed
+            });
+            assert!(consumed > 0, "window must have done real work");
+            assert_eq!(
+                allocs, 0,
+                "sharded tick loop allocated {allocs} times over 1k ticks"
+            );
+        });
+}
+
 /// The same property seen end-to-end: a full run's allocation count is
 /// dominated by setup, not by ticks — running 4x more ticks over the
 /// same setup must not add more than a sliver of allocations.
